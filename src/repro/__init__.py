@@ -1,0 +1,59 @@
+"""repro -- reproduction of Czumaj & Davies (PODC 2017).
+
+This package reproduces the algorithms and analytical machinery of
+
+    Artur Czumaj and Peter Davies,
+    "Exploiting Spontaneous Transmissions for Broadcasting and Leader
+    Election in Radio Networks", PODC 2017.
+
+The package is organised into substrates (graph/radio model, topologies,
+clustering, schedules), the paper's core contribution (the ``Compete``
+primitive, broadcasting and leader election), the prior-work baselines the
+paper compares against, and the simulation/analysis harness used by the
+benchmark suite.
+
+Quickstart
+----------
+>>> from repro import topology, broadcast
+>>> graph = topology.path_graph(64)
+>>> result = broadcast(graph, source=0, seed=7)
+>>> result.success
+True
+
+See ``README.md`` for a tour and ``DESIGN.md`` for the paper-to-module map.
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ReproError,
+    GraphError,
+    ProtocolError,
+    SimulationError,
+    ConfigurationError,
+)
+from repro.network.graph import Graph
+from repro.network.radio import RadioNetwork, CollisionModel
+from repro.core.parameters import CompeteParameters
+from repro.core.compete import Compete, CompeteResult, compete
+from repro.core.broadcast import broadcast, BroadcastResult
+from repro.core.leader_election import elect_leader, LeaderElectionResult
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphError",
+    "ProtocolError",
+    "SimulationError",
+    "ConfigurationError",
+    "Graph",
+    "RadioNetwork",
+    "CollisionModel",
+    "CompeteParameters",
+    "Compete",
+    "CompeteResult",
+    "compete",
+    "broadcast",
+    "BroadcastResult",
+    "elect_leader",
+    "LeaderElectionResult",
+]

@@ -1,0 +1,94 @@
+"""Message model for the radio network simulator.
+
+The paper places no restriction on message size but notes that its
+algorithms work with ``O(log n)``-bit messages.  We model a message as an
+integer-comparable payload (``value``) plus optional metadata describing
+its origin, which is what ``Compete`` needs: sources inject messages and
+all nodes must learn the *highest* one.
+
+Two sentinel objects describe what a listening node hears in a round:
+
+* :data:`SILENCE` -- no neighbour transmitted (or, without collision
+  detection, more than one did);
+* :data:`COLLISION` -- at least two neighbours transmitted, only reported
+  when the collision-detection variant of the model is enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+
+class _Sentinel:
+    """A named singleton used for the reception sentinels."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return f"<{self._name}>"
+
+
+#: Heard nothing (zero transmitting neighbours, or an undetected collision).
+SILENCE = _Sentinel("SILENCE")
+
+#: Heard a collision (two or more transmitting neighbours); only delivered
+#: by the collision-detection variant of the model.
+COLLISION = _Sentinel("COLLISION")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Message:
+    """A transmissible message.
+
+    Messages are ordered by ``(value, source)`` so that "the highest
+    message" is well defined even if two sources inject equal values;
+    this mirrors the paper's convention of ranking messages
+    lexicographically (Section 4).
+
+    Attributes
+    ----------
+    value:
+        The integer value being propagated (a source message value or a
+        candidate identifier in leader election).
+    source:
+        Identifier of the node that originated the message.  Included in
+        the ordering as a tie-breaker.
+    payload:
+        Optional opaque payload carried alongside the value (not part of
+        ordering or equality of interest to the algorithms; excluded from
+        comparisons).
+    """
+
+    value: int
+    source: Any = dataclasses.field(default=None, compare=True)
+    payload: Any = dataclasses.field(default=None, compare=False)
+
+    def beats(self, other: Optional["Message"]) -> bool:
+        """Return True if this message is strictly higher than ``other``.
+
+        ``other`` may be ``None`` (meaning "knows nothing yet"), in which
+        case any message wins.
+        """
+        if other is None:
+            return True
+        return (self.value, self._source_key()) > (other.value, other._source_key())
+
+    def _source_key(self):
+        """A total-orderable key for the source tie-breaker."""
+        return (str(type(self.source)), str(self.source))
+
+
+def highest_message(*messages: Optional[Message]) -> Optional[Message]:
+    """Return the highest of the given messages, ignoring ``None`` entries.
+
+    Returns ``None`` if every argument is ``None``.
+    """
+    best: Optional[Message] = None
+    for message in messages:
+        if message is not None and message.beats(best):
+            best = message
+    return best

@@ -1,0 +1,64 @@
+"""Aggregate counters collected while simulating a radio network.
+
+The analysis in the paper is about *round* complexity, but the metrics
+also track transmissions, successful receptions and collisions, which the
+ablation benchmarks use to compare energy and contention profiles of the
+algorithms (for example, Decay-style baselines transmit far more often
+than the schedule-based algorithms).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class NetworkMetrics:
+    """Mutable counters updated by :class:`~repro.network.radio.RadioNetwork`.
+
+    Attributes
+    ----------
+    rounds:
+        Number of rounds executed.
+    transmissions:
+        Total number of (node, round) transmission events.
+    receptions:
+        Total number of successful message deliveries to listeners.
+    collisions:
+        Total number of (listener, round) pairs where two or more
+        neighbours transmitted simultaneously.
+    idle_listens:
+        Total number of (listener, round) pairs where no neighbour
+        transmitted.
+    """
+
+    rounds: int = 0
+    transmissions: int = 0
+    receptions: int = 0
+    collisions: int = 0
+    idle_listens: int = 0
+
+    def merge(self, other: "NetworkMetrics") -> "NetworkMetrics":
+        """Return a new metrics object summing this one and ``other``."""
+        return NetworkMetrics(
+            rounds=self.rounds + other.rounds,
+            transmissions=self.transmissions + other.transmissions,
+            receptions=self.receptions + other.receptions,
+            collisions=self.collisions + other.collisions,
+            idle_listens=self.idle_listens + other.idle_listens,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary (for reporting)."""
+        return dataclasses.asdict(self)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of listen events that resulted in a reception.
+
+        Returns 0.0 when no listen events have occurred.
+        """
+        listens = self.receptions + self.collisions + self.idle_listens
+        if listens == 0:
+            return 0.0
+        return self.receptions / listens

@@ -1,0 +1,116 @@
+"""Per-node protocol interface for the round-accurate radio simulator.
+
+A *protocol* is the program executed by a single station.  Each round the
+simulator asks every node's protocol for an action (transmit a message or
+listen), applies the collision semantics, and then reports to each node
+what it heard.  Protocols are deliberately passive objects: they never see
+the graph, other nodes' state, or the global round outcome -- exactly the
+information hiding the ad-hoc model requires (unknown topology, knowledge
+of ``n`` and ``D`` only).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import enum
+from typing import Any, Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.network.messages import Message
+
+
+class ActionKind(enum.Enum):
+    """What a node does in a single round."""
+
+    TRANSMIT = "transmit"
+    LISTEN = "listen"
+
+
+@dataclasses.dataclass(frozen=True)
+class Action:
+    """The action a node takes in one round.
+
+    Use the :meth:`transmit` and :meth:`listen` constructors rather than
+    instantiating directly.
+    """
+
+    kind: ActionKind
+    message: Optional[Message] = None
+
+    @classmethod
+    def transmit(cls, message: Message) -> "Action":
+        """Transmit ``message`` to all neighbours this round."""
+        if not isinstance(message, Message):
+            raise ProtocolError(
+                f"transmit requires a Message, got {type(message).__name__}"
+            )
+        return cls(ActionKind.TRANSMIT, message)
+
+    @classmethod
+    def listen(cls) -> "Action":
+        """Stay silent and listen this round."""
+        return cls(ActionKind.LISTEN, None)
+
+    @property
+    def is_transmit(self) -> bool:
+        return self.kind is ActionKind.TRANSMIT
+
+
+class NodeProtocol(abc.ABC):
+    """Abstract base class for per-node protocols.
+
+    Subclasses implement :meth:`act` and :meth:`receive`; the simulator
+    guarantees they are called alternately, once each per round, starting
+    with :meth:`act` for round 0.
+
+    Attributes
+    ----------
+    node_id:
+        The identity of the station running this protocol.  The model
+        allows nodes to know their own identifier.
+    num_nodes:
+        The global parameter ``n`` (the model assumes nodes know ``n``).
+    diameter:
+        The global parameter ``D`` (the model assumes nodes know ``D``).
+    """
+
+    def __init__(self, node_id: Any, num_nodes: int, diameter: int) -> None:
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.diameter = diameter
+
+    @abc.abstractmethod
+    def act(self, round_number: int) -> Action:
+        """Return this node's action for ``round_number``."""
+
+    @abc.abstractmethod
+    def receive(self, round_number: int, heard: Any) -> None:
+        """Report what the node heard in ``round_number``.
+
+        ``heard`` is a :class:`~repro.network.messages.Message` if exactly
+        one neighbour transmitted, :data:`~repro.network.messages.SILENCE`
+        otherwise, or :data:`~repro.network.messages.COLLISION` when the
+        collision-detection variant is enabled and two or more neighbours
+        transmitted.  A transmitting node hears nothing (the model is
+        half-duplex) and is passed :data:`SILENCE`.
+        """
+
+    def is_done(self) -> bool:
+        """Return True once this node has locally terminated.
+
+        The runner stops when every node reports ``True`` (or the round
+        budget is exhausted).  The default is ``False`` -- protocols that
+        run forever are stopped by the round budget.
+        """
+        return False
+
+    def output(self) -> Any:
+        """Return this node's local output (e.g. the learned message or
+        elected leader).  ``None`` by default."""
+        return None
+
+
+#: A factory that builds the protocol instance for a given node.  It is
+#: called once per node with ``(node_id, num_nodes, diameter)``.
+ProtocolFactory = Callable[[Any, int, int], NodeProtocol]

@@ -1,0 +1,231 @@
+"""The synchronous radio network model (Section 1.1 of the paper).
+
+The distinguishing feature of the model is the interfering behaviour of
+transmissions: if a node listens in a given round and *precisely one* of
+its neighbours transmits, the node receives the message; in all other
+cases it receives nothing.  Without collision detection a listener cannot
+distinguish "no neighbour transmitted" from "two or more transmitted".
+The optional collision-detection variant reports the latter case with the
+:data:`~repro.network.messages.COLLISION` sentinel.
+
+:class:`RadioNetwork` is intentionally a *pure* model object: it holds the
+graph, the collision semantics and the metric counters, and exposes a
+single :meth:`RadioNetwork.run_round` operation that maps a dictionary of
+node actions to a dictionary of receptions.  Driving protocols round by
+round is the job of :class:`repro.simulation.runner.ProtocolRunner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Mapping, Optional
+
+from repro.errors import ProtocolError
+from repro.network.events import EventLog, TraceEvent
+from repro.network.graph import Graph
+from repro.network.messages import COLLISION, SILENCE, Message
+from repro.network.metrics import NetworkMetrics
+from repro.network.protocol import Action
+
+
+class CollisionModel(enum.Enum):
+    """Which collision semantics the network applies.
+
+    ``NO_DETECTION`` is the model the paper studies: collisions are
+    silent.  ``WITH_DETECTION`` is the standard stronger variant used by
+    some related work (e.g. Ghaffari, Haeupler, Khabbazian 2015) and is
+    provided for the comparison benchmarks.
+    """
+
+    NO_DETECTION = "no-detection"
+    WITH_DETECTION = "with-detection"
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundOutcome:
+    """Everything that happened in one simulated round.
+
+    Attributes
+    ----------
+    round_number:
+        The index of the executed round (0-based).
+    transmitters:
+        Mapping from transmitting node to the message it sent.
+    received:
+        Mapping from every node to what it heard: a
+        :class:`~repro.network.messages.Message`, :data:`SILENCE` or
+        :data:`COLLISION`.
+    """
+
+    round_number: int
+    transmitters: Mapping[Any, Message]
+    received: Mapping[Any, Any]
+
+
+class RadioNetwork:
+    """A radio network: a graph plus the model's collision semantics.
+
+    Parameters
+    ----------
+    graph:
+        The underlying connected communication graph.
+    collision_model:
+        Whether listeners can detect collisions.  Defaults to the paper's
+        model (no detection).
+    event_log:
+        Optional :class:`~repro.network.events.EventLog`; when provided,
+        every transmission/reception/collision is traced into it.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        self._graph = graph
+        self._collision_model = collision_model
+        self._event_log = event_log
+        self._metrics = NetworkMetrics()
+        self._round_number = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying communication graph."""
+        return self._graph
+
+    @property
+    def collision_model(self) -> CollisionModel:
+        """The collision semantics in effect."""
+        return self._collision_model
+
+    @property
+    def metrics(self) -> NetworkMetrics:
+        """Aggregate counters for all rounds executed so far."""
+        return self._metrics
+
+    @property
+    def current_round(self) -> int:
+        """The index of the next round to be executed."""
+        return self._round_number
+
+    # ------------------------------------------------------------------
+    # Core semantics
+    # ------------------------------------------------------------------
+    def run_round(self, actions: Mapping[Any, Action]) -> RoundOutcome:
+        """Execute one synchronous round.
+
+        Parameters
+        ----------
+        actions:
+            A mapping from *every* node in the graph to its
+            :class:`~repro.network.protocol.Action` for this round.
+            Missing nodes default to listening, which matches the model
+            (a node that does nothing is simply silent), but unknown
+            nodes are rejected.
+
+        Returns
+        -------
+        RoundOutcome
+            What every node heard.  Transmitting nodes hear
+            :data:`SILENCE` (the model is half-duplex: a transmitter
+            cannot listen in the same round).
+
+        Raises
+        ------
+        ProtocolError
+            If ``actions`` mentions a node that is not in the graph.
+        """
+        for node in actions:
+            if node not in self._graph:
+                raise ProtocolError(f"action supplied for unknown node {node!r}")
+
+        transmitters: dict[Any, Message] = {}
+        for node, action in actions.items():
+            if action.is_transmit:
+                assert action.message is not None
+                transmitters[node] = action.message
+
+        received: dict[Any, Any] = {}
+        for node in self._graph:
+            if node in transmitters:
+                # Half-duplex: a transmitter hears nothing this round.
+                received[node] = SILENCE
+                continue
+            heard = self._reception_for(node, transmitters)
+            received[node] = heard
+
+        self._update_metrics(transmitters, received)
+        self._trace_round(transmitters, received)
+
+        outcome = RoundOutcome(
+            round_number=self._round_number,
+            transmitters=dict(transmitters),
+            received=received,
+        )
+        self._round_number += 1
+        return outcome
+
+    def _reception_for(self, node: Any, transmitters: Mapping[Any, Message]) -> Any:
+        """Apply the collision rule for a single listening node."""
+        transmitting_neighbours = [
+            neighbour
+            for neighbour in self._graph.neighbors(node)
+            if neighbour in transmitters
+        ]
+        if len(transmitting_neighbours) == 1:
+            return transmitters[transmitting_neighbours[0]]
+        if len(transmitting_neighbours) == 0:
+            return SILENCE
+        if self._collision_model is CollisionModel.WITH_DETECTION:
+            return COLLISION
+        return SILENCE
+
+    def _update_metrics(
+        self, transmitters: Mapping[Any, Message], received: Mapping[Any, Any]
+    ) -> None:
+        self._metrics.rounds += 1
+        self._metrics.transmissions += len(transmitters)
+        for node, heard in received.items():
+            if node in transmitters:
+                continue
+            if isinstance(heard, Message):
+                self._metrics.receptions += 1
+            else:
+                # Count the true collision/idle split regardless of whether
+                # the node could observe the difference.
+                transmitting_neighbours = sum(
+                    1
+                    for neighbour in self._graph.neighbors(node)
+                    if neighbour in transmitters
+                )
+                if transmitting_neighbours >= 2:
+                    self._metrics.collisions += 1
+                else:
+                    self._metrics.idle_listens += 1
+
+    def _trace_round(
+        self, transmitters: Mapping[Any, Message], received: Mapping[Any, Any]
+    ) -> None:
+        if self._event_log is None:
+            return
+        for node, message in transmitters.items():
+            self._event_log.record(
+                TraceEvent(self._round_number, "transmit", node, message)
+            )
+        for node, heard in received.items():
+            if node in transmitters:
+                continue
+            if isinstance(heard, Message):
+                kind = "receive"
+            elif heard is COLLISION:
+                kind = "collision"
+            else:
+                kind = "silence"
+            self._event_log.record(
+                TraceEvent(self._round_number, kind, node, heard)
+            )

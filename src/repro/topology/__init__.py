@@ -1,0 +1,57 @@
+"""Topology generators for the benchmark and test workloads.
+
+The paper's bounds are parameterised by ``n`` (nodes) and ``D``
+(diameter); the experiments therefore need families of connected graphs
+where both parameters can be controlled independently:
+
+* *deterministic* families (paths, cycles, grids, trees, caterpillars,
+  dumbbells) with exactly known diameter, and
+* *random* families (connected G(n, p), random geometric graphs,
+  clustered graphs) that model realistic ad-hoc deployments.
+"""
+
+from repro.topology.generators import (
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    grid_graph,
+    binary_tree_graph,
+    caterpillar_graph,
+    dumbbell_graph,
+    lollipop_graph,
+    path_of_cliques_graph,
+)
+from repro.topology.random_graphs import (
+    connected_gnp_graph,
+    random_geometric_graph,
+    clustered_graph,
+    random_tree_graph,
+    diameter_controlled_graph,
+)
+from repro.topology.validation import (
+    validate_radio_topology,
+    TopologySummary,
+    summarize_topology,
+)
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "caterpillar_graph",
+    "dumbbell_graph",
+    "lollipop_graph",
+    "path_of_cliques_graph",
+    "connected_gnp_graph",
+    "random_geometric_graph",
+    "clustered_graph",
+    "random_tree_graph",
+    "diameter_controlled_graph",
+    "validate_radio_topology",
+    "TopologySummary",
+    "summarize_topology",
+]
