@@ -6,11 +6,12 @@ This package reproduces the algorithms and analytical machinery of
     "Exploiting Spontaneous Transmissions for Broadcasting and Leader
     Election in Radio Networks", PODC 2017.
 
-The package is organised into substrates (graph/radio model, topologies,
-clustering, schedules), the paper's core contribution (the ``Compete``
-primitive, broadcasting and leader election), the prior-work baselines the
-paper compares against, and the simulation/analysis harness used by the
-benchmark suite.
+The package is organised into substrates (:mod:`repro.network` for the
+graph/radio model, :mod:`repro.topology` for benchmark topologies,
+:mod:`repro.schedules` for the Decay transmission primitive), the paper's
+core contribution (:mod:`repro.core`: the ``Compete`` primitive,
+broadcasting and leader election), and the round-accurate simulation
+harness (:mod:`repro.simulation`) that drives them.
 
 Quickstart
 ----------
@@ -33,6 +34,8 @@ from repro.errors import (
 )
 from repro.network.graph import Graph
 from repro.network.radio import RadioNetwork, CollisionModel
+from repro.simulation.results import RunResult, StopReason
+from repro.simulation.runner import ProtocolRunner
 from repro.core.parameters import CompeteParameters
 from repro.core.compete import Compete, CompeteResult, compete
 from repro.core.broadcast import broadcast, BroadcastResult
@@ -48,6 +51,9 @@ __all__ = [
     "Graph",
     "RadioNetwork",
     "CollisionModel",
+    "RunResult",
+    "StopReason",
+    "ProtocolRunner",
     "CompeteParameters",
     "Compete",
     "CompeteResult",

@@ -1,0 +1,41 @@
+"""The paper's core contribution: Compete, broadcasting, leader election.
+
+* :mod:`repro.core.parameters` -- validated ``(n, D)``-derived schedule
+  lengths (:class:`CompeteParameters`).
+* :mod:`repro.core.compete` -- the Compete primitive: candidate messages
+  race via interleaved Decay rounds until the highest one saturates the
+  network.
+* :mod:`repro.core.broadcast` -- single-source broadcasting as the
+  one-candidate instance of Compete, with spontaneous transmissions on
+  by default.
+* :mod:`repro.core.leader_election` -- candidates self-select with
+  probability ``~1/n`` and Compete on random identifiers; retried until
+  a unique leader saturates.
+"""
+
+from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
+from repro.core.compete import (
+    CandidateSpec,
+    Compete,
+    CompeteNodeState,
+    CompeteProtocol,
+    CompeteResult,
+    compete,
+)
+from repro.core.broadcast import BroadcastResult, broadcast
+from repro.core.leader_election import LeaderElectionResult, elect_leader
+
+__all__ = [
+    "DEFAULT_MARGIN",
+    "CompeteParameters",
+    "CandidateSpec",
+    "Compete",
+    "CompeteNodeState",
+    "CompeteProtocol",
+    "CompeteResult",
+    "compete",
+    "BroadcastResult",
+    "broadcast",
+    "LeaderElectionResult",
+    "elect_leader",
+]

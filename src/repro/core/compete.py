@@ -1,0 +1,352 @@
+"""The Compete primitive: candidate messages race until one saturates.
+
+Compete is the paper's workhorse: several *candidate* nodes inject
+messages, every informed node relays the **highest** message it has heard
+so far using interleaved Decay rounds (Algorithm 5), and -- because the
+message order is total (Section 4) -- the globally highest candidate
+message eventually floods the whole network while every lower message
+dies out.  Broadcasting is Compete with one candidate; leader election is
+Compete on random candidate identifiers.
+
+The *spontaneous transmissions* of the paper's title appear here as the
+``spontaneous`` flag: when set, nodes that were given no candidate
+message still participate from round 0 with a dummy message ranked below
+every real candidate.  Uninformed nodes therefore transmit before ever
+hearing from a source -- the behaviour that separates this model from the
+classical one where only informed nodes may speak.
+
+The simulated schedule runs ``⌈margin · (D + log2 n)⌉`` Decay rounds
+(:class:`~repro.core.parameters.CompeteParameters`); by Lemma 3.1 each
+round pushes the frontier of the eventual winner past any listener with
+constant probability, so the winner saturates the network with
+overwhelming probability.  This is the ``O((D + log n) · log n)``-round
+skeleton of the paper's algorithms; the clustering machinery that removes
+the multiplicative ``log n`` is future work (see ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+from repro.network.messages import Message, highest_message
+from repro.network.metrics import NetworkMetrics
+from repro.network.protocol import Action, NodeProtocol
+from repro.network.radio import CollisionModel, RadioNetwork
+from repro.schedules.decay import decay_transmit_step
+from repro.simulation.runner import ProtocolRunner, spawn_node_rngs
+from repro.topology.validation import validate_radio_topology
+from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
+
+#: Candidate specifications accepted by :meth:`Compete.run`: a mapping
+#: from node to either a ready-made :class:`Message` or a plain integer
+#: value (wrapped into ``Message(value, source=node)``).
+CandidateSpec = Mapping[Any, Union[Message, int]]
+
+
+@dataclasses.dataclass(frozen=True)
+class CompeteNodeState:
+    """A node's local state at the end of a Compete run.
+
+    Attributes
+    ----------
+    best:
+        The highest message the node knows (``None`` if it never heard
+        one and had none of its own).
+    adopted_round:
+        The global round number in which ``best`` was adopted; ``-1``
+        means the node knew it before the first round (it was a
+        candidate), ``None`` means it knows nothing.
+    """
+
+    best: Optional[Message]
+    adopted_round: Optional[int]
+
+
+class CompeteProtocol(NodeProtocol):
+    """Per-node program of Compete: relay the highest known message.
+
+    Each round the node either listens (if it knows nothing) or applies
+    the Decay step rule to decide whether to transmit its current best
+    message.  The Decay step index is derived from the *global* round
+    number, so all participants stay aligned within each Decay round --
+    the alignment Lemma 3.1's analysis assumes.
+    """
+
+    def __init__(
+        self,
+        node_id: Any,
+        num_nodes: int,
+        diameter: int,
+        rng: np.random.Generator,
+        decay_steps: int,
+        initial: Optional[Message] = None,
+    ) -> None:
+        super().__init__(node_id, num_nodes, diameter)
+        self._rng = rng
+        self._decay_steps = decay_steps
+        self.best: Optional[Message] = initial
+        self.adopted_round: Optional[int] = None if initial is None else -1
+
+    def act(self, round_number: int) -> Action:
+        if self.best is None:
+            return Action.listen()
+        step_in_round = (round_number % self._decay_steps) + 1
+        if decay_transmit_step(step_in_round, self._rng):
+            return Action.transmit(self.best)
+        return Action.listen()
+
+    def receive(self, round_number: int, heard: Any) -> None:
+        if isinstance(heard, Message) and heard.beats(self.best):
+            self.best = heard
+            self.adopted_round = round_number
+
+    def output(self) -> CompeteNodeState:
+        return CompeteNodeState(best=self.best, adopted_round=self.adopted_round)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompeteResult:
+    """Outcome of one Compete run.
+
+    Attributes
+    ----------
+    success:
+        True when there was at least one candidate and every node ended
+        the run knowing the winning message.
+    winner:
+        The highest candidate message (``None`` when no candidates were
+        supplied).
+    rounds:
+        Simulator rounds actually executed (the run stops early once the
+        winner has saturated the network).
+    num_candidates:
+        How many real candidates entered the race.
+    reception_rounds:
+        Per-node adoption time of the winner: the global round number in
+        which the node adopted it, ``-1`` for nodes that held it from the
+        start, or ``None`` for nodes that never learned it.
+    final_messages:
+        The highest message each node knew when the run ended (dummy
+        messages from spontaneous participation included).
+    metrics:
+        Round/transmission accounting for this run.
+    parameters:
+        The schedule the run used.
+    """
+
+    success: bool
+    winner: Optional[Message]
+    rounds: int
+    num_candidates: int
+    reception_rounds: Mapping[Any, Optional[int]]
+    final_messages: Mapping[Any, Optional[Message]]
+    metrics: NetworkMetrics
+    parameters: CompeteParameters
+
+    @property
+    def informed_fraction(self) -> float:
+        """Fraction of nodes that ended the run knowing the winner."""
+        total = len(self.final_messages)
+        if total == 0 or self.winner is None:
+            return 0.0
+        informed = sum(
+            1 for best in self.final_messages.values() if best == self.winner
+        )
+        return informed / total
+
+
+class Compete:
+    """The Compete primitive bound to one network topology.
+
+    Parameters
+    ----------
+    graph:
+        A connected radio-network topology
+        (:func:`~repro.topology.validation.validate_radio_topology` is
+        applied eagerly).
+    parameters:
+        Explicit schedule lengths; derived from the graph via
+        :meth:`CompeteParameters.from_graph` when omitted.
+    margin:
+        Margin for the derived schedule (ignored when ``parameters`` is
+        given).
+    collision_model:
+        Collision semantics for the underlying network.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        parameters: Optional[CompeteParameters] = None,
+        margin: float = DEFAULT_MARGIN,
+        collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    ) -> None:
+        validate_radio_topology(graph)
+        if parameters is None:
+            parameters = CompeteParameters.from_graph(graph, margin=margin)
+        elif parameters.num_nodes != graph.num_nodes:
+            raise ConfigurationError(
+                f"parameters are for n={parameters.num_nodes} but the graph "
+                f"has n={graph.num_nodes}"
+            )
+        self._graph = graph
+        self._parameters = parameters
+        self._collision_model = collision_model
+
+    @property
+    def parameters(self) -> CompeteParameters:
+        """The schedule this instance runs."""
+        return self._parameters
+
+    def run(
+        self,
+        candidates: CandidateSpec,
+        *,
+        seed: Optional[int] = None,
+        spontaneous: bool = False,
+    ) -> CompeteResult:
+        """Race the candidate messages until one saturates the network.
+
+        Parameters
+        ----------
+        candidates:
+            Mapping from candidate node to its message (a
+            :class:`~repro.network.messages.Message` or a plain integer
+            value).  May be empty, in which case the full (silent or
+            dummy-only) schedule is still charged and the run reports
+            failure -- this is how a failed leader-election attempt
+            spends its rounds.
+        seed:
+            Seed for the per-node random generators.
+        spontaneous:
+            When True, non-candidate nodes participate from round 0 with
+            a dummy message ranked strictly below every candidate.
+        """
+        messages = self._normalise_candidates(candidates)
+        winner = highest_message(*messages.values())
+        graph = self._graph
+        params = self._parameters
+
+        initial: dict[Any, Optional[Message]] = {
+            node: messages.get(node) for node in graph.nodes()
+        }
+        if spontaneous:
+            dummy_value = min(
+                (message.value for message in messages.values()), default=0
+            ) - 1
+            for node in graph.nodes():
+                if initial[node] is None:
+                    initial[node] = Message(value=dummy_value, source=node)
+
+        rngs = spawn_node_rngs(graph, seed)
+        protocols = {
+            node: CompeteProtocol(
+                node,
+                graph.num_nodes,
+                params.diameter,
+                rngs[node],
+                params.decay_steps,
+                initial=initial[node],
+            )
+            for node in graph.nodes()
+        }
+
+        network = RadioNetwork(graph, self._collision_model)
+
+        def saturated() -> bool:
+            return winner is not None and all(
+                protocol.best == winner for protocol in protocols.values()
+            )
+
+        if saturated():
+            # Degenerate cases (single node, or every node a candidate
+            # holding the winner) need no communication at all.
+            run_rounds = 0
+            metrics = network.metrics.copy()
+        else:
+            runner = ProtocolRunner(
+                network,
+                protocols,
+                max_rounds=params.total_rounds,
+                stop_when=lambda outcome, protos: saturated(),
+            )
+            run_result = runner.run()
+            run_rounds = run_result.rounds
+            metrics = run_result.metrics
+
+        reception_rounds: dict[Any, Optional[int]] = {}
+        final_messages: dict[Any, Optional[Message]] = {}
+        for node, protocol in protocols.items():
+            final_messages[node] = protocol.best
+            if winner is not None and protocol.best == winner:
+                reception_rounds[node] = protocol.adopted_round
+            else:
+                reception_rounds[node] = None
+
+        return CompeteResult(
+            success=saturated(),
+            winner=winner,
+            rounds=run_rounds,
+            num_candidates=len(messages),
+            reception_rounds=reception_rounds,
+            final_messages=final_messages,
+            metrics=metrics,
+            parameters=params,
+        )
+
+    def _normalise_candidates(
+        self, candidates: CandidateSpec
+    ) -> dict[Any, Message]:
+        if not isinstance(candidates, Mapping):
+            raise ConfigurationError(
+                "candidates must be a mapping from node to Message or int, "
+                f"got {type(candidates).__name__}"
+            )
+        messages: dict[Any, Message] = {}
+        for node, value in candidates.items():
+            if node not in self._graph:
+                raise ConfigurationError(
+                    f"candidate node {node!r} is not in the graph"
+                )
+            if isinstance(value, Message):
+                messages[node] = value
+            elif isinstance(value, int) and not isinstance(value, bool):
+                messages[node] = Message(value=value, source=node)
+            else:
+                raise ConfigurationError(
+                    f"candidate value for node {node!r} must be a Message "
+                    f"or int, got {type(value).__name__}"
+                )
+        return messages
+
+
+def compete(
+    graph: Graph,
+    candidates: CandidateSpec,
+    *,
+    seed: Optional[int] = None,
+    spontaneous: bool = False,
+    parameters: Optional[CompeteParameters] = None,
+    margin: float = DEFAULT_MARGIN,
+    collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+) -> CompeteResult:
+    """One-shot convenience wrapper around :class:`Compete`.
+
+    >>> from repro import topology
+    >>> result = compete(topology.star_graph(8), {1: 10, 2: 20}, seed=0)
+    >>> result.success and result.winner.value == 20
+    True
+    """
+    primitive = Compete(
+        graph,
+        parameters=parameters,
+        margin=margin,
+        collision_model=collision_model,
+    )
+    return primitive.run(candidates, seed=seed, spontaneous=spontaneous)

@@ -1,0 +1,131 @@
+"""Schedule parameters for the Compete primitive.
+
+The paper states its bounds in terms of ``n`` (nodes) and ``D``
+(diameter), both of which the model assumes every node knows.  The
+simulated Compete schedule is a fixed number of interleaved Decay rounds:
+each Decay round is ``⌈log2 n⌉`` time steps (Algorithm 5), and the number
+of Decay rounds is ``⌈margin · (D + ⌈log2 n⌉)⌉``.  By Lemma 3.1 each Decay
+round advances the frontier of the currently-highest message past any
+listener with constant probability, so a margin of a few multiples of
+``1/(2e)⁻¹ ≈ 5.4`` makes saturation overwhelmingly likely; the default
+margin of 8 keeps the Monte-Carlo suites comfortably above their bounds.
+
+All validation happens eagerly at construction
+(:class:`~repro.errors.ConfigurationError`), so a long simulation never
+dies halfway through on a bad value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+from repro.schedules.decay import decay_round_length
+
+#: Default multiplier on ``D + log2 n`` for the number of Decay rounds.
+DEFAULT_MARGIN = 8.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CompeteParameters:
+    """Validated, ``(n, D)``-derived schedule lengths for Compete.
+
+    Attributes
+    ----------
+    num_nodes:
+        The global parameter ``n``.
+    diameter:
+        The global parameter ``D`` (0 only for the single-node network).
+    decay_steps:
+        Time steps per Decay round, ``⌈log2 n⌉`` (at least 1).
+    num_decay_rounds:
+        How many Decay rounds the schedule runs.
+    """
+
+    num_nodes: int
+    diameter: int
+    decay_steps: int
+    num_decay_rounds: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        if self.diameter < 0:
+            raise ConfigurationError(
+                f"diameter must be >= 0, got {self.diameter}"
+            )
+        if self.num_nodes == 1 and self.diameter != 0:
+            raise ConfigurationError(
+                "a single-node network has diameter 0, got "
+                f"diameter={self.diameter}"
+            )
+        if self.num_nodes > 1 and self.diameter < 1:
+            raise ConfigurationError(
+                f"a network with {self.num_nodes} nodes has diameter >= 1"
+            )
+        if self.diameter > self.num_nodes - 1 and self.num_nodes > 1:
+            raise ConfigurationError(
+                f"diameter {self.diameter} impossible with "
+                f"{self.num_nodes} nodes (max {self.num_nodes - 1})"
+            )
+        if self.decay_steps < 1:
+            raise ConfigurationError(
+                f"decay_steps must be >= 1, got {self.decay_steps}"
+            )
+        if self.num_decay_rounds < 1:
+            raise ConfigurationError(
+                f"num_decay_rounds must be >= 1, got {self.num_decay_rounds}"
+            )
+
+    @property
+    def total_rounds(self) -> int:
+        """The schedule's length in simulator rounds (= time steps)."""
+        return self.decay_steps * self.num_decay_rounds
+
+    @classmethod
+    def derive(
+        cls,
+        num_nodes: int,
+        diameter: int,
+        margin: float = DEFAULT_MARGIN,
+    ) -> "CompeteParameters":
+        """Derive schedule lengths from ``n`` and ``D``.
+
+        ``decay_steps = ⌈log2 n⌉`` and
+        ``num_decay_rounds = ⌈margin · (D + decay_steps)⌉``.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        if not margin > 0:
+            raise ConfigurationError(f"margin must be > 0, got {margin}")
+        decay_steps = decay_round_length(num_nodes)
+        num_decay_rounds = max(1, math.ceil(margin * (diameter + decay_steps)))
+        return cls(
+            num_nodes=num_nodes,
+            diameter=diameter,
+            decay_steps=decay_steps,
+            num_decay_rounds=num_decay_rounds,
+        )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        diameter: Optional[int] = None,
+        margin: float = DEFAULT_MARGIN,
+    ) -> "CompeteParameters":
+        """Derive parameters for a concrete graph.
+
+        ``diameter`` may be passed to skip the (possibly expensive) exact
+        computation on large graphs.
+        """
+        if graph.num_nodes == 0:
+            raise ConfigurationError("cannot derive parameters for an empty graph")
+        if diameter is None:
+            diameter = graph.diameter()
+        return cls.derive(graph.num_nodes, diameter, margin)

@@ -48,6 +48,24 @@ class NetworkMetrics:
             idle_listens=self.idle_listens + other.idle_listens,
         )
 
+    def copy(self) -> "NetworkMetrics":
+        """Return an independent snapshot of the current counters."""
+        return dataclasses.replace(self)
+
+    def diff(self, earlier: "NetworkMetrics") -> "NetworkMetrics":
+        """Return the counters accumulated since the ``earlier`` snapshot.
+
+        Used by :class:`~repro.simulation.runner.ProtocolRunner` to report
+        per-run accounting even when several runs share one network.
+        """
+        return NetworkMetrics(
+            rounds=self.rounds - earlier.rounds,
+            transmissions=self.transmissions - earlier.transmissions,
+            receptions=self.receptions - earlier.receptions,
+            collisions=self.collisions - earlier.collisions,
+            idle_listens=self.idle_listens - earlier.idle_listens,
+        )
+
     def as_dict(self) -> dict[str, int]:
         """Return the counters as a plain dictionary (for reporting)."""
         return dataclasses.asdict(self)

@@ -1,15 +1,13 @@
-"""Transmission primitives and intra-cluster schedules.
+"""Transmission primitives shared by the paper's algorithms.
 
 * :mod:`repro.schedules.decay` -- the Decay protocol of Bar-Yehuda,
   Goldreich and Itai (Algorithm 5 of the paper) and its single-round
-  success guarantee (Lemma 3.1).
-* :mod:`repro.schedules.bfs_schedule` -- a round-accurate intra-cluster
-  broadcast/gather schedule built from BFS layers and Decay, which runs
-  on the radio simulator.
-* :mod:`repro.schedules.cluster_schedule` -- the cost-charged schedule
-  object implementing the Lemma 2.3 contract (delivery within distance
-  ``ℓ`` of the cluster centre at a cost of ``ℓ + O(polylog n)`` rounds),
-  used by the cluster-granular execution mode of ``Compete``.
+  success guarantee (Lemma 3.1).  The step-level decision rule exported
+  here is embedded by the :class:`~repro.core.compete.Compete` primitive.
+
+Future PRs will add the clustering-based schedules of the paper's
+polylog-optimised algorithms (the Lemma 2.3 cost-charged cluster
+schedule); see ``DESIGN.md`` for the reproduced-vs-planned breakdown.
 """
 
 from repro.schedules.decay import (
@@ -20,8 +18,6 @@ from repro.schedules.decay import (
     simulate_decay_round,
     decay_success_probability_lower_bound,
 )
-from repro.schedules.bfs_schedule import BfsClusterSchedule, ScheduleDeliveryReport
-from repro.schedules.cluster_schedule import ClusterSchedule, ScheduleCostModel
 
 __all__ = [
     "DECAY_DEFAULT_CONSTANT",
@@ -30,8 +26,4 @@ __all__ = [
     "DecayTransmitter",
     "simulate_decay_round",
     "decay_success_probability_lower_bound",
-    "BfsClusterSchedule",
-    "ScheduleDeliveryReport",
-    "ClusterSchedule",
-    "ScheduleCostModel",
 ]

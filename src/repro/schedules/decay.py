@@ -15,7 +15,7 @@ number of participating neighbours, and at that step exactly one of the
 
 This module provides the step-level decision rule (shared by every
 protocol that embeds Decay), a convenience simulator used by the Lemma 3.1
-benchmark, and the analytic lower bound the benchmark compares against.
+regression tests, and the analytic lower bound the tests compare against.
 """
 
 from __future__ import annotations
@@ -34,7 +34,7 @@ from repro.network.radio import RadioNetwork
 
 #: The constant-probability guarantee of Lemma 3.1 is usually quoted with
 #: success probability at least 1/(2e); we expose it for the analytic
-#: comparison in benchmark E7.
+#: comparison in the Lemma 3.1 regression tests (``tests/test_compete.py``).
 DECAY_DEFAULT_CONSTANT = 1.0 / (2.0 * math.e)
 
 
@@ -152,8 +152,8 @@ def decay_success_probability_lower_bound(num_contenders: int) -> float:
 
         ``k * p * (1 - p)^(k-1)  >=  (1/2) * (1 - 1/k)^(k-1)  >=  1/(2e)``.
 
-    This is the classical bound; the E7 benchmark checks that the
-    empirical success rate dominates it for all ``k``.
+    This is the classical bound; the Lemma 3.1 regression tests check
+    that the empirical success rate dominates it for all ``k``.
     """
     if num_contenders < 1:
         raise ConfigurationError(

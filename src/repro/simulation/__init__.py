@@ -1,0 +1,27 @@
+"""Round-accurate simulation harness for radio-network protocols.
+
+* :mod:`repro.simulation.runner` -- :class:`ProtocolRunner`, the driver
+  that advances per-node :class:`~repro.network.protocol.NodeProtocol`
+  objects one synchronous round at a time against
+  :meth:`~repro.network.radio.RadioNetwork.run_round`, with per-node
+  seedable randomness, a round budget and pluggable stop conditions.
+* :mod:`repro.simulation.results` -- the structured
+  :class:`RunResult` / :class:`StopReason` types every run returns.
+"""
+
+from repro.simulation.results import RunResult, StopReason
+from repro.simulation.runner import (
+    ProtocolRunner,
+    SeededProtocolFactory,
+    build_seeded_protocols,
+    spawn_node_rngs,
+)
+
+__all__ = [
+    "RunResult",
+    "StopReason",
+    "ProtocolRunner",
+    "SeededProtocolFactory",
+    "build_seeded_protocols",
+    "spawn_node_rngs",
+]

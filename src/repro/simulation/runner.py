@@ -1,0 +1,226 @@
+"""The round-accurate protocol driver.
+
+:class:`ProtocolRunner` is the only place in the package that advances
+simulated time: each round it collects every node's
+:meth:`~repro.network.protocol.NodeProtocol.act`, applies the collision
+semantics via :meth:`~repro.network.radio.RadioNetwork.run_round`, and
+reports each node's reception back through
+:meth:`~repro.network.protocol.NodeProtocol.receive`.  Protocols therefore
+never see the graph or each other -- exactly the information hiding the
+ad-hoc model requires.
+
+Randomness is per node: :func:`spawn_node_rngs` derives one independent
+``numpy`` generator per node from a single seed via
+``numpy.random.SeedSequence.spawn``, so runs are exactly reproducible and
+no node's draws depend on the iteration order of another's.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError, SimulationError
+from repro.network.graph import Graph
+from repro.network.protocol import NodeProtocol
+from repro.network.radio import RadioNetwork, RoundOutcome
+from repro.simulation.results import RunResult, StopReason
+
+#: A factory that builds the protocol for one node.  Called once per node
+#: with ``(node_id, num_nodes, diameter, rng)`` where ``rng`` is that
+#: node's private generator.
+SeededProtocolFactory = Callable[[Any, int, int, np.random.Generator], NodeProtocol]
+
+#: An observer-level stop predicate, evaluated after every round with the
+#: round's outcome and the (mutable) protocol map.  Returning True ends
+#: the run with :attr:`StopReason.CONDITION`.
+StopPredicate = Callable[[RoundOutcome, Mapping[Any, NodeProtocol]], bool]
+
+
+def spawn_node_rngs(
+    graph: Graph, seed: Optional[int] = None
+) -> dict[Any, np.random.Generator]:
+    """Return one independent random generator per node of ``graph``.
+
+    Generators are derived from ``numpy.random.SeedSequence(seed)`` in the
+    graph's (deterministic) node insertion order, so the same seed always
+    yields the same per-node streams.
+    """
+    seed_sequence = np.random.SeedSequence(seed)
+    children = seed_sequence.spawn(graph.num_nodes)
+    return {
+        node: np.random.default_rng(child)
+        for node, child in zip(graph.nodes(), children)
+    }
+
+
+def build_seeded_protocols(
+    network: RadioNetwork,
+    factory: SeededProtocolFactory,
+    seed: Optional[int] = None,
+    diameter: Optional[int] = None,
+) -> dict[Any, NodeProtocol]:
+    """Instantiate one protocol per node with a private seeded generator.
+
+    Parameters
+    ----------
+    network:
+        The network whose nodes need protocols.
+    factory:
+        Called as ``factory(node_id, num_nodes, diameter, rng)`` per node.
+    seed:
+        Seed for :func:`spawn_node_rngs`.
+    diameter:
+        The global parameter ``D`` handed to every protocol; computed from
+        the graph when omitted (exact for small graphs, see
+        :meth:`~repro.network.graph.Graph.diameter`).
+    """
+    graph = network.graph
+    if diameter is None:
+        diameter = graph.diameter()
+    rngs = spawn_node_rngs(graph, seed)
+    return {
+        node: factory(node, graph.num_nodes, diameter, rngs[node])
+        for node in graph.nodes()
+    }
+
+
+class ProtocolRunner:
+    """Drives per-node protocols against a radio network, round by round.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.network.radio.RadioNetwork` to run on.  Its
+        global round counter and metrics keep advancing across runs; the
+        returned :class:`~repro.simulation.results.RunResult` carries the
+        per-run metrics delta.
+    protocols:
+        Mapping from node to its :class:`~repro.network.protocol.NodeProtocol`.
+        Every key must be a node of the network's graph; nodes without a
+        protocol listen passively and receive no callbacks.
+    max_rounds:
+        The round budget for one :meth:`run` call.
+    stop_when:
+        Optional predicate evaluated after every round (see
+        :data:`StopPredicate`).  This is an *observer-level* condition --
+        it may inspect global state the protocols themselves cannot see,
+        e.g. "every node has adopted the winning message".
+    record_outcomes:
+        When True, the per-round :class:`~repro.network.radio.RoundOutcome`
+        records are kept and returned on the result (memory-heavy for
+        long runs; off by default).
+    strict:
+        When True, exhausting the round budget raises
+        :class:`~repro.errors.SimulationError` (listing the unfinished
+        nodes) instead of returning a result.  Protocols that run a fixed
+        schedule and never report completion should leave this off.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        protocols: Mapping[Any, NodeProtocol],
+        *,
+        max_rounds: int,
+        stop_when: Optional[StopPredicate] = None,
+        record_outcomes: bool = False,
+        strict: bool = False,
+    ) -> None:
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+        for node in protocols:
+            if node not in network.graph:
+                raise ProtocolError(
+                    f"protocol supplied for unknown node {node!r}"
+                )
+        self._network = network
+        self._protocols = dict(protocols)
+        self._max_rounds = max_rounds
+        self._stop_when = stop_when
+        self._record_outcomes = record_outcomes
+        self._strict = strict
+
+    @classmethod
+    def from_factory(
+        cls,
+        network: RadioNetwork,
+        factory: SeededProtocolFactory,
+        *,
+        max_rounds: int,
+        seed: Optional[int] = None,
+        diameter: Optional[int] = None,
+        stop_when: Optional[StopPredicate] = None,
+        record_outcomes: bool = False,
+        strict: bool = False,
+    ) -> "ProtocolRunner":
+        """Build protocols via :func:`build_seeded_protocols` and wrap them."""
+        protocols = build_seeded_protocols(network, factory, seed, diameter)
+        return cls(
+            network,
+            protocols,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            record_outcomes=record_outcomes,
+            strict=strict,
+        )
+
+    @property
+    def protocols(self) -> Mapping[Any, NodeProtocol]:
+        """The protocol map being driven (a live read-only view)."""
+        return types.MappingProxyType(self._protocols)
+
+    def run(self) -> RunResult:
+        """Execute rounds until a stop condition fires or the budget ends."""
+        network = self._network
+        start_metrics = network.metrics.copy()
+        first_round: Optional[int] = None
+        outcomes: list[RoundOutcome] = []
+        rounds_executed = 0
+        stop_reason = StopReason.BUDGET_EXHAUSTED
+
+        if self._all_done():
+            stop_reason = StopReason.ALL_DONE
+
+        while stop_reason is StopReason.BUDGET_EXHAUSTED and rounds_executed < self._max_rounds:
+            round_number = network.current_round
+            actions = {
+                node: protocol.act(round_number)
+                for node, protocol in self._protocols.items()
+            }
+            outcome = network.run_round(actions)
+            for node, protocol in self._protocols.items():
+                protocol.receive(round_number, outcome.received[node])
+            rounds_executed += 1
+            if first_round is None:
+                first_round = round_number
+            if self._record_outcomes:
+                outcomes.append(outcome)
+            if self._all_done():
+                stop_reason = StopReason.ALL_DONE
+            elif self._stop_when is not None and self._stop_when(outcome, self._protocols):
+                stop_reason = StopReason.CONDITION
+
+        if stop_reason is StopReason.BUDGET_EXHAUSTED and self._strict:
+            unfinished = sorted(
+                (repr(node) for node, p in self._protocols.items() if not p.is_done()),
+            )
+            raise SimulationError(
+                f"round budget of {self._max_rounds} exhausted after "
+                f"{rounds_executed} rounds; unfinished nodes: "
+                f"{', '.join(unfinished) if unfinished else '(none)'}"
+            )
+
+        return RunResult(
+            stop_reason=stop_reason,
+            rounds=rounds_executed,
+            first_round=first_round,
+            outputs={node: p.output() for node, p in self._protocols.items()},
+            metrics=network.metrics.diff(start_metrics),
+            outcomes=tuple(outcomes) if self._record_outcomes else None,
+        )
+
+    def _all_done(self) -> bool:
+        return all(protocol.is_done() for protocol in self._protocols.values())

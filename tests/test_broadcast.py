@@ -1,0 +1,87 @@
+"""Broadcasting via Compete on paths, stars, grids and random graphs."""
+
+import pytest
+
+from repro import broadcast, topology
+from repro.errors import ConfigurationError, GraphError
+from repro.network.graph import Graph
+
+
+def test_acceptance_path_64_fixed_seed():
+    """The acceptance-criterion run: a 64-node path with a fixed seed."""
+    graph = topology.path_graph(64)
+    result = broadcast(graph, source=0, seed=7)
+    assert result.success
+    assert result.num_informed == 64
+    assert result.rounds > 0
+    assert result.rounds <= result.parameters.total_rounds
+    assert result.metrics.rounds == result.rounds
+    assert result.metrics.transmissions > 0
+
+
+def test_reception_times_are_plausible_on_the_path():
+    graph = topology.path_graph(64)
+    result = broadcast(graph, source=0, seed=7)
+    times = result.reception_rounds
+    assert times[0] == -1  # the source knew its own message
+    # Every node needs at least distance(source, v) rounds to hear it.
+    for node in graph.nodes():
+        if node == 0:
+            continue
+        assert times[node] is not None
+        assert times[node] + 1 >= node  # distance from source on the path
+
+
+def test_star_and_grid():
+    assert broadcast(topology.star_graph(16), source=0, seed=1).success
+    assert broadcast(topology.grid_graph(6, 6), source=0, seed=2).success
+
+
+def test_conservative_model_without_spontaneous_transmissions():
+    graph = topology.path_graph(32)
+    result = broadcast(graph, source=0, seed=3, spontaneous=False)
+    assert result.success
+    # Only informed nodes ever transmit in the conservative model: a node
+    # that adopted the message in round t can transmit in rounds t+1
+    # onward only, so the transmission count is bounded by the exact
+    # number of informed-(node, round) pairs.  Spontaneous mode, where
+    # every node transmits dummies from round 0, violates this bound.
+    times = result.reception_rounds
+    assert all(t is not None for t in times.values())
+    informed_node_rounds = sum(result.rounds - t - 1 for t in times.values())
+    assert result.metrics.transmissions <= informed_node_rounds
+
+
+def test_broadcast_is_deterministic_given_seed():
+    graph = topology.path_graph(40)
+    first = broadcast(graph, source=0, seed=9)
+    second = broadcast(graph, source=0, seed=9)
+    assert first.rounds == second.rounds
+    assert dict(first.reception_rounds) == dict(second.reception_rounds)
+
+
+def test_monte_carlo_success_rate():
+    """20/20 seeded runs succeed across two topology families."""
+    path = topology.path_graph(48)
+    gnp = topology.connected_gnp_graph(48, 0.12, seed=5)
+    successes = sum(broadcast(path, source=0, seed=s).success for s in range(10))
+    successes += sum(broadcast(gnp, source=0, seed=s).success for s in range(10))
+    assert successes == 20
+
+
+def test_single_node_broadcast():
+    result = broadcast(topology.path_graph(1), source=0, seed=0)
+    assert result.success
+    assert result.rounds == 0
+    assert result.num_informed == 1
+
+
+def test_invalid_source_rejected():
+    with pytest.raises(ConfigurationError):
+        broadcast(topology.path_graph(4), source=99, seed=0)
+
+
+def test_disconnected_graph_rejected():
+    graph = Graph(nodes=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+    with pytest.raises(GraphError):
+        broadcast(graph, source=0, seed=0)

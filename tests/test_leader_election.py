@@ -1,0 +1,75 @@
+"""Leader election via Compete on random candidate identifiers."""
+
+import pytest
+
+from repro import elect_leader, topology
+from repro.errors import ConfigurationError
+
+
+def test_acceptance_unique_leader_on_complete_graph():
+    """Acceptance criterion: >= 95/100 seeded trials on K_n elect a
+    unique leader that every node agrees on."""
+    graph = topology.complete_graph(16)
+    unique_successes = 0
+    for seed in range(100):
+        result = elect_leader(graph, seed=seed)
+        if not result.success:
+            continue
+        finals = set(result.compete_result.final_messages.values())
+        if len(finals) == 1 and result.leader in graph:
+            unique_successes += 1
+    assert unique_successes >= 95
+
+
+def test_leader_election_on_path_and_random_graph():
+    for graph in (
+        topology.path_graph(24),
+        topology.connected_gnp_graph(24, 0.2, seed=4),
+    ):
+        result = elect_leader(graph, seed=11)
+        assert result.success
+        assert result.leader in graph
+        assert result.attempts >= 1
+        assert result.rounds > 0
+
+
+def test_rounds_and_metrics_accumulate_across_attempts():
+    graph = topology.complete_graph(8)
+    result = elect_leader(graph, seed=5)
+    assert result.metrics.rounds == result.rounds
+    if result.attempts > 1:
+        # A failed attempt charges the full schedule, so total rounds
+        # exceed the final attempt's alone.
+        assert result.rounds > result.compete_result.rounds
+
+
+def test_single_node_elects_itself():
+    result = elect_leader(topology.path_graph(1), seed=0)
+    assert result.success
+    assert result.leader == 0
+
+
+def test_deterministic_given_seed():
+    graph = topology.complete_graph(12)
+    first = elect_leader(graph, seed=21)
+    second = elect_leader(graph, seed=21)
+    assert first.leader == second.leader
+    assert first.attempts == second.attempts
+    assert first.rounds == second.rounds
+
+
+def test_candidate_probability_one_always_has_candidates():
+    graph = topology.star_graph(6)
+    result = elect_leader(graph, seed=2, candidate_probability=1.0)
+    assert result.success
+    assert result.num_candidates == 7
+
+
+def test_invalid_arguments_rejected():
+    graph = topology.path_graph(4)
+    with pytest.raises(ConfigurationError):
+        elect_leader(graph, seed=0, candidate_probability=0.0)
+    with pytest.raises(ConfigurationError):
+        elect_leader(graph, seed=0, candidate_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        elect_leader(graph, seed=0, max_attempts=0)

@@ -1,0 +1,61 @@
+"""CompeteParameters validation and derivation."""
+
+import math
+
+import pytest
+
+from repro import CompeteParameters, topology
+from repro.core.parameters import DEFAULT_MARGIN
+from repro.errors import ConfigurationError
+
+
+def test_derive_matches_formula():
+    params = CompeteParameters.derive(64, 63)
+    assert params.decay_steps == 6  # ceil(log2 64)
+    assert params.num_decay_rounds == math.ceil(DEFAULT_MARGIN * (63 + 6))
+    assert params.total_rounds == params.decay_steps * params.num_decay_rounds
+
+
+def test_from_graph_computes_diameter():
+    params = CompeteParameters.from_graph(topology.path_graph(10))
+    assert params.num_nodes == 10
+    assert params.diameter == 9
+
+
+def test_from_graph_accepts_precomputed_diameter():
+    params = CompeteParameters.from_graph(topology.path_graph(10), diameter=9)
+    assert params.diameter == 9
+
+
+def test_single_node_network():
+    params = CompeteParameters.derive(1, 0)
+    assert params.decay_steps == 1
+    assert params.total_rounds >= 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(num_nodes=0, diameter=0, decay_steps=1, num_decay_rounds=1),
+        dict(num_nodes=4, diameter=-1, decay_steps=2, num_decay_rounds=1),
+        dict(num_nodes=4, diameter=0, decay_steps=2, num_decay_rounds=1),
+        dict(num_nodes=1, diameter=3, decay_steps=1, num_decay_rounds=1),
+        dict(num_nodes=4, diameter=5, decay_steps=2, num_decay_rounds=1),
+        dict(num_nodes=4, diameter=2, decay_steps=0, num_decay_rounds=1),
+        dict(num_nodes=4, diameter=2, decay_steps=2, num_decay_rounds=0),
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        CompeteParameters(**kwargs)
+
+
+def test_invalid_margin_rejected():
+    with pytest.raises(ConfigurationError):
+        CompeteParameters.derive(8, 3, margin=0.0)
+
+
+def test_parameters_are_frozen():
+    params = CompeteParameters.derive(8, 3)
+    with pytest.raises(Exception):
+        params.num_nodes = 99

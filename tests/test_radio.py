@@ -1,0 +1,85 @@
+"""Collision semantics of the radio model (Section 1.1)."""
+
+import pytest
+
+from repro import topology
+from repro.errors import ProtocolError
+from repro.network.messages import COLLISION, SILENCE, Message
+from repro.network.protocol import Action
+from repro.network.radio import CollisionModel, RadioNetwork
+
+
+def _msg(value, source):
+    return Message(value=value, source=source)
+
+
+def test_single_transmitter_is_received():
+    network = RadioNetwork(topology.star_graph(3))
+    outcome = network.run_round({1: Action.transmit(_msg(7, 1))})
+    assert outcome.received[0] == _msg(7, 1)
+    assert outcome.received[2] is SILENCE
+    assert outcome.received[3] is SILENCE
+
+
+def test_two_transmitters_collide_silently_without_detection():
+    network = RadioNetwork(topology.star_graph(3))
+    outcome = network.run_round(
+        {1: Action.transmit(_msg(1, 1)), 2: Action.transmit(_msg(2, 2))}
+    )
+    # The centre hears two neighbours: an undetected collision is SILENCE.
+    assert outcome.received[0] is SILENCE
+    # Leaf 3's only neighbour is the silent centre.
+    assert outcome.received[3] is SILENCE
+
+
+def test_collision_detection_variant_reports_collision():
+    network = RadioNetwork(
+        topology.star_graph(3), collision_model=CollisionModel.WITH_DETECTION
+    )
+    outcome = network.run_round(
+        {1: Action.transmit(_msg(1, 1)), 2: Action.transmit(_msg(2, 2))}
+    )
+    assert outcome.received[0] is COLLISION
+    assert outcome.received[3] is SILENCE
+
+
+def test_transmitter_is_half_duplex():
+    graph = topology.path_graph(2)
+    network = RadioNetwork(graph)
+    outcome = network.run_round(
+        {0: Action.transmit(_msg(1, 0)), 1: Action.transmit(_msg(2, 1))}
+    )
+    # Both transmitted, so neither heard the other.
+    assert outcome.received[0] is SILENCE
+    assert outcome.received[1] is SILENCE
+
+
+def test_unknown_node_rejected():
+    network = RadioNetwork(topology.path_graph(2))
+    with pytest.raises(ProtocolError):
+        network.run_round({99: Action.listen()})
+
+
+def test_metrics_count_the_true_collision_idle_split():
+    network = RadioNetwork(topology.star_graph(3))
+    network.run_round(
+        {1: Action.transmit(_msg(1, 1)), 2: Action.transmit(_msg(2, 2))}
+    )
+    metrics = network.metrics
+    assert metrics.rounds == 1
+    assert metrics.transmissions == 2
+    assert metrics.receptions == 0
+    # Centre saw a (silent) collision; leaf 3 idled.
+    assert metrics.collisions == 1
+    assert metrics.idle_listens == 1
+
+
+def test_metrics_copy_and_diff():
+    network = RadioNetwork(topology.path_graph(3))
+    network.run_round({0: Action.transmit(_msg(1, 0))})
+    before = network.metrics.copy()
+    network.run_round({0: Action.transmit(_msg(1, 0))})
+    delta = network.metrics.diff(before)
+    assert delta.rounds == 1
+    assert delta.transmissions == 1
+    assert before.rounds == 1  # snapshot unaffected

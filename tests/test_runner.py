@@ -1,0 +1,164 @@
+"""ProtocolRunner: stop conditions, budgets, accounting."""
+
+import pytest
+
+from repro import topology
+from repro.errors import ConfigurationError, ProtocolError, SimulationError
+from repro.network.messages import Message
+from repro.network.protocol import Action, NodeProtocol
+from repro.network.radio import RadioNetwork
+from repro.simulation import ProtocolRunner, StopReason, build_seeded_protocols
+
+
+class OneShotBeacon(NodeProtocol):
+    """Transmits once in ``fire_round`` (if it is the beacon), then idles;
+    reports done once it has heard (or sent) a message."""
+
+    def __init__(self, node_id, num_nodes, diameter, is_beacon, fire_round=0):
+        super().__init__(node_id, num_nodes, diameter)
+        self.is_beacon = is_beacon
+        self.fire_round = fire_round
+        self.heard = None
+
+    def act(self, round_number):
+        if self.is_beacon and round_number == self.fire_round:
+            return Action.transmit(Message(value=1, source=self.node_id))
+        return Action.listen()
+
+    def receive(self, round_number, heard):
+        if isinstance(heard, Message):
+            self.heard = heard
+
+    def is_done(self):
+        return self.is_beacon or self.heard is not None
+
+    def output(self):
+        return self.heard
+
+
+def _beacon_protocols(graph, beacon):
+    return {
+        node: OneShotBeacon(node, graph.num_nodes, graph.diameter(), node == beacon)
+        for node in graph.nodes()
+    }
+
+
+def test_run_stops_when_all_done():
+    graph = topology.star_graph(4)
+    network = RadioNetwork(graph)
+    runner = ProtocolRunner(
+        network, _beacon_protocols(graph, beacon=0), max_rounds=10
+    )
+    result = runner.run()
+    assert result.stop_reason is StopReason.ALL_DONE
+    assert result.completed
+    assert result.rounds == 1
+    assert result.first_round == 0
+    # Every leaf heard the centre's single transmission.
+    assert all(result.outputs[leaf] == Message(value=1, source=0) for leaf in range(1, 5))
+    assert result.metrics.rounds == 1
+    assert result.metrics.transmissions == 1
+    assert result.metrics.receptions == 4
+
+
+def test_budget_exhaustion_is_reported_not_raised_by_default():
+    graph = topology.path_graph(3)
+    network = RadioNetwork(graph)
+    # Beacon fires at round 5 but the budget ends earlier.
+    protocols = {
+        node: OneShotBeacon(node, 3, 2, node == 0, fire_round=5)
+        for node in graph.nodes()
+    }
+    runner = ProtocolRunner(network, protocols, max_rounds=3)
+    result = runner.run()
+    assert result.stop_reason is StopReason.BUDGET_EXHAUSTED
+    assert not result.completed
+    assert result.rounds == 3
+
+
+def test_strict_budget_exhaustion_raises():
+    graph = topology.path_graph(3)
+    network = RadioNetwork(graph)
+    protocols = {
+        node: OneShotBeacon(node, 3, 2, node == 0, fire_round=5)
+        for node in graph.nodes()
+    }
+    runner = ProtocolRunner(network, protocols, max_rounds=2, strict=True)
+    with pytest.raises(SimulationError, match="round budget of 2"):
+        runner.run()
+
+
+def test_stop_when_condition():
+    graph = topology.star_graph(2)
+    network = RadioNetwork(graph)
+    protocols = {
+        node: OneShotBeacon(node, 3, 2, False) for node in graph.nodes()
+    }
+    runner = ProtocolRunner(
+        network,
+        protocols,
+        max_rounds=10,
+        stop_when=lambda outcome, protos: outcome.round_number >= 4,
+    )
+    result = runner.run()
+    assert result.stop_reason is StopReason.CONDITION
+    assert result.rounds == 5
+
+
+def test_zero_round_run_when_everyone_already_done():
+    graph = topology.star_graph(2)
+    network = RadioNetwork(graph)
+    protocols = _beacon_protocols(graph, beacon=0)
+    for protocol in protocols.values():
+        protocol.heard = Message(value=0, source=None)
+    runner = ProtocolRunner(network, protocols, max_rounds=10)
+    result = runner.run()
+    assert result.stop_reason is StopReason.ALL_DONE
+    assert result.rounds == 0
+    assert result.first_round is None
+
+
+def test_record_outcomes():
+    graph = topology.star_graph(2)
+    network = RadioNetwork(graph)
+    runner = ProtocolRunner(
+        network,
+        _beacon_protocols(graph, beacon=0),
+        max_rounds=10,
+        record_outcomes=True,
+    )
+    result = runner.run()
+    assert result.outcomes is not None
+    assert len(result.outcomes) == result.rounds
+    assert result.outcomes[0].transmitters == {0: Message(value=1, source=0)}
+
+
+def test_runner_validates_inputs():
+    graph = topology.path_graph(2)
+    network = RadioNetwork(graph)
+    with pytest.raises(ConfigurationError):
+        ProtocolRunner(network, {}, max_rounds=-1)
+    with pytest.raises(ProtocolError):
+        ProtocolRunner(
+            network, {99: OneShotBeacon(99, 2, 1, False)}, max_rounds=1
+        )
+
+
+def test_build_seeded_protocols_is_deterministic():
+    graph = topology.path_graph(5)
+    network = RadioNetwork(graph)
+    seen_rngs = {}
+
+    def factory(node, num_nodes, diameter, rng):
+        seen_rngs[node] = rng.random()
+        assert num_nodes == 5
+        assert diameter == 4
+        return OneShotBeacon(node, num_nodes, diameter, node == 0)
+
+    build_seeded_protocols(network, factory, seed=42)
+    first = dict(seen_rngs)
+    seen_rngs.clear()
+    build_seeded_protocols(network, factory, seed=42)
+    assert seen_rngs == first
+    # Per-node streams are independent, not identical.
+    assert len(set(first.values())) == len(first)
