@@ -11,6 +11,19 @@
 * :mod:`repro.core.leader_election` -- candidates self-select with
   probability ``~1/n`` and Compete on random identifiers; retried until
   a unique leader saturates.
+
+Every algorithm accepts a ``backend`` argument selecting how its rounds
+are executed: ``"reference"`` (the default) drives one
+:class:`~repro.network.protocol.NodeProtocol` per node through the
+pure-Python :class:`~repro.simulation.runner.ProtocolRunner`, while
+``"vectorized"`` runs the same dynamics through the NumPy batch engine
+(:class:`~repro.simulation.vectorized.VectorizedCompeteEngine`).  The
+backends are **round-exact equivalents**: given the same graph,
+candidates and seed they produce identical results -- same winner, same
+per-node reception rounds, same metric counters -- so the vectorized
+backend can stand in wherever throughput matters (see
+:mod:`repro.experiments`), and :meth:`Compete.run_batch` runs many seeded
+trials as one batched computation.
 """
 
 from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters

@@ -71,6 +71,7 @@ def broadcast(
     parameters: Optional[CompeteParameters] = None,
     margin: float = DEFAULT_MARGIN,
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    backend: str = "reference",
 ) -> BroadcastResult:
     """Broadcast a message from ``source`` to every node of ``graph``.
 
@@ -87,8 +88,10 @@ def broadcast(
         When True (the default, and the paper's model), uninformed nodes
         also transmit dummy messages from round 0; set False for the
         classical conservative model where only informed nodes speak.
-    parameters / margin / collision_model:
-        Forwarded to :class:`~repro.core.compete.Compete`.
+    parameters / margin / collision_model / backend:
+        Forwarded to :class:`~repro.core.compete.Compete`; ``backend``
+        selects the per-node reference runner or the round-exact
+        vectorized engine.
 
     >>> from repro import topology
     >>> result = broadcast(topology.star_graph(8), source=0, seed=1)
@@ -102,6 +105,7 @@ def broadcast(
         parameters=parameters,
         margin=margin,
         collision_model=collision_model,
+        backend=backend,
     )
     message = Message(value=1, source=source)
     compete_result = primitive.run(

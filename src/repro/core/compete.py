@@ -22,6 +22,15 @@ constant probability, so the winner saturates the network with
 overwhelming probability.  This is the ``O((D + log n) · log n)``-round
 skeleton of the paper's algorithms; the clustering machinery that removes
 the multiplicative ``log n`` is future work (see ``DESIGN.md``).
+
+Two interchangeable backends execute the schedule: ``"reference"`` drives
+one :class:`CompeteProtocol` per node through the pure-Python
+:class:`~repro.simulation.runner.ProtocolRunner`, and ``"vectorized"``
+replays the identical dynamics through
+:class:`~repro.simulation.vectorized.VectorizedCompeteEngine` as dense
+array operations.  Both produce the same :class:`CompeteResult` round for
+round under a shared seed; :meth:`Compete.run_batch` additionally runs
+many seeded trials at once on the vectorized backend.
 """
 
 from __future__ import annotations
@@ -39,6 +48,11 @@ from repro.network.protocol import Action, NodeProtocol
 from repro.network.radio import CollisionModel, RadioNetwork
 from repro.schedules.decay import decay_transmit_step
 from repro.simulation.runner import ProtocolRunner, spawn_node_rngs
+from repro.simulation.vectorized import (
+    NO_MESSAGE,
+    VectorizedCompeteEngine,
+    rank_messages,
+)
 from repro.topology.validation import validate_radio_topology
 from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
 
@@ -46,6 +60,9 @@ from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
 #: from node to either a ready-made :class:`Message` or a plain integer
 #: value (wrapped into ``Message(value, source=node)``).
 CandidateSpec = Mapping[Any, Union[Message, int]]
+
+#: The execution backends of :meth:`Compete.run`.
+BACKENDS = ("reference", "vectorized")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -177,6 +194,12 @@ class Compete:
         given).
     collision_model:
         Collision semantics for the underlying network.
+    backend:
+        ``"reference"`` (default) drives per-node protocols through
+        :class:`~repro.simulation.runner.ProtocolRunner`; ``"vectorized"``
+        runs the round-exact equivalent array simulation
+        (:class:`~repro.simulation.vectorized.VectorizedCompeteEngine`).
+        Either way the same seed yields the same :class:`CompeteResult`.
     """
 
     def __init__(
@@ -186,6 +209,7 @@ class Compete:
         parameters: Optional[CompeteParameters] = None,
         margin: float = DEFAULT_MARGIN,
         collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+        backend: str = "reference",
     ) -> None:
         validate_radio_topology(graph)
         if parameters is None:
@@ -195,14 +219,26 @@ class Compete:
                 f"parameters are for n={parameters.num_nodes} but the graph "
                 f"has n={graph.num_nodes}"
             )
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self._graph = graph
         self._parameters = parameters
         self._collision_model = collision_model
+        self._backend = backend
+        self._engine: Optional[VectorizedCompeteEngine] = None
+        self._engine_adjacency: Optional[Mapping] = None
 
     @property
     def parameters(self) -> CompeteParameters:
         """The schedule this instance runs."""
         return self._parameters
+
+    @property
+    def backend(self) -> str:
+        """The default execution backend of :meth:`run`."""
+        return self._backend
 
     def run(
         self,
@@ -210,6 +246,7 @@ class Compete:
         *,
         seed: Optional[int] = None,
         spontaneous: bool = False,
+        backend: Optional[str] = None,
     ) -> CompeteResult:
         """Race the candidate messages until one saturates the network.
 
@@ -227,22 +264,25 @@ class Compete:
         spontaneous:
             When True, non-candidate nodes participate from round 0 with
             a dummy message ranked strictly below every candidate.
+        backend:
+            Override the instance's execution backend for this run.
         """
+        if backend is None:
+            backend = self._backend
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend == "vectorized":
+            return self.run_batch(
+                candidates, seeds=[seed], spontaneous=spontaneous
+            )[0]
+
         messages = self._normalise_candidates(candidates)
         winner = highest_message(*messages.values())
         graph = self._graph
         params = self._parameters
-
-        initial: dict[Any, Optional[Message]] = {
-            node: messages.get(node) for node in graph.nodes()
-        }
-        if spontaneous:
-            dummy_value = min(
-                (message.value for message in messages.values()), default=0
-            ) - 1
-            for node in graph.nodes():
-                if initial[node] is None:
-                    initial[node] = Message(value=dummy_value, source=node)
+        initial = self._initial_messages(messages, spontaneous)
 
         rngs = spawn_node_rngs(graph, seed)
         protocols = {
@@ -300,6 +340,107 @@ class Compete:
             parameters=params,
         )
 
+    def run_batch(
+        self,
+        candidates: CandidateSpec,
+        *,
+        seeds: Iterable[Optional[int]],
+        spontaneous: bool = False,
+    ) -> list[CompeteResult]:
+        """Run one seeded trial per entry of ``seeds``, batched.
+
+        All trials share the candidate set and race simultaneously through
+        the vectorized engine (one extra array axis, not one Python loop
+        per trial).  Each returned :class:`CompeteResult` is identical to
+        what ``run(candidates, seed=s, backend="reference")`` would have
+        produced for the corresponding seed.
+        """
+        seed_list = list(seeds)
+        if not seed_list:
+            return []
+        messages = self._normalise_candidates(candidates)
+        winner = highest_message(*messages.values())
+        params = self._parameters
+        initial = self._initial_messages(messages, spontaneous)
+
+        rank_of = rank_messages(
+            message for message in initial.values() if message is not None
+        )
+        message_of = {rank: message for message, rank in rank_of.items()}
+        winner_rank = rank_of[winner] if winner is not None else None
+
+        engine = self._vectorized_engine()
+        initial_row = np.array(
+            [
+                NO_MESSAGE if initial[node] is None else rank_of[initial[node]]
+                for node in engine.nodes
+            ],
+            dtype=np.int64,
+        )
+        initial_ranks = np.tile(initial_row, (len(seed_list), 1))
+        outcome = engine.run_batch(initial_ranks, winner_rank, seed_list)
+
+        results = []
+        for trial in range(outcome.num_trials):
+            reception_rounds: dict[Any, Optional[int]] = {}
+            final_messages: dict[Any, Optional[Message]] = {}
+            for index, node in enumerate(engine.nodes):
+                rank = int(outcome.final_ranks[trial, index])
+                final_messages[node] = message_of.get(rank)
+                if winner_rank is not None and rank == winner_rank:
+                    reception_rounds[node] = int(
+                        outcome.adopted_rounds[trial, index]
+                    )
+                else:
+                    reception_rounds[node] = None
+            results.append(
+                CompeteResult(
+                    success=bool(outcome.saturated[trial]),
+                    winner=winner,
+                    rounds=int(outcome.rounds[trial]),
+                    num_candidates=len(messages),
+                    reception_rounds=reception_rounds,
+                    final_messages=final_messages,
+                    metrics=outcome.metrics(trial),
+                    parameters=params,
+                )
+            )
+        return results
+
+    def _initial_messages(
+        self, messages: Mapping[Any, Message], spontaneous: bool
+    ) -> dict[Any, Optional[Message]]:
+        """Each node's message before round 0 (dummies included)."""
+        initial: dict[Any, Optional[Message]] = {
+            node: messages.get(node) for node in self._graph.nodes()
+        }
+        if spontaneous:
+            dummy_value = min(
+                (message.value for message in messages.values()), default=0
+            ) - 1
+            for node in self._graph.nodes():
+                if initial[node] is None:
+                    initial[node] = Message(value=dummy_value, source=node)
+        return initial
+
+    def _vectorized_engine(self) -> VectorizedCompeteEngine:
+        """The lazily built (graph-and-schedule-bound) vectorized engine.
+
+        The engine densifies the adjacency matrix, so the cache is keyed
+        on an adjacency snapshot: mutating the graph between runs rebuilds
+        the engine rather than silently simulating a stale topology (the
+        reference backend always reads the live graph).
+        """
+        adjacency = self._graph.adjacency()
+        if self._engine is None or adjacency != self._engine_adjacency:
+            self._engine = VectorizedCompeteEngine(
+                self._graph,
+                decay_steps=self._parameters.decay_steps,
+                max_rounds=self._parameters.total_rounds,
+            )
+            self._engine_adjacency = adjacency
+        return self._engine
+
     def _normalise_candidates(
         self, candidates: CandidateSpec
     ) -> dict[Any, Message]:
@@ -335,6 +476,7 @@ def compete(
     parameters: Optional[CompeteParameters] = None,
     margin: float = DEFAULT_MARGIN,
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    backend: str = "reference",
 ) -> CompeteResult:
     """One-shot convenience wrapper around :class:`Compete`.
 
@@ -342,11 +484,19 @@ def compete(
     >>> result = compete(topology.star_graph(8), {1: 10, 2: 20}, seed=0)
     >>> result.success and result.winner.value == 20
     True
+
+    The two backends agree round for round under a shared seed:
+
+    >>> fast = compete(topology.star_graph(8), {1: 10, 2: 20}, seed=0,
+    ...                backend="vectorized")
+    >>> (fast.rounds, fast.winner) == (result.rounds, result.winner)
+    True
     """
     primitive = Compete(
         graph,
         parameters=parameters,
         margin=margin,
         collision_model=collision_model,
+        backend=backend,
     )
     return primitive.run(candidates, seed=seed, spontaneous=spontaneous)

@@ -83,6 +83,7 @@ def elect_leader(
     parameters: Optional[CompeteParameters] = None,
     margin: float = DEFAULT_MARGIN,
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    backend: str = "reference",
 ) -> LeaderElectionResult:
     """Elect a unique leader known to every node of ``graph``.
 
@@ -101,8 +102,9 @@ def elect_leader(
         overall failure vanishingly unlikely.
     spontaneous:
         Forwarded to Compete (non-candidates transmitting dummies).
-    parameters / margin / collision_model:
-        Forwarded to :class:`~repro.core.compete.Compete`.
+    parameters / margin / collision_model / backend:
+        Forwarded to :class:`~repro.core.compete.Compete`; the backends
+        yield identical elections for the same master seed.
 
     >>> from repro import topology
     >>> result = elect_leader(topology.complete_graph(16), seed=3)
@@ -129,6 +131,7 @@ def elect_leader(
         parameters=parameters,
         margin=margin,
         collision_model=collision_model,
+        backend=backend,
     )
     # The identifier space is polynomial in n, so identifiers collide only
     # with polynomially small probability; Message's source tie-break keeps

@@ -1,0 +1,58 @@
+"""Benchmark subsystem: scenarios, batch runs, persisted results.
+
+This package is how the repository measures itself.  It sweeps the
+algorithms of :mod:`repro.core` across the topology families of
+:mod:`repro.topology` on the vectorized simulation backend
+(:mod:`repro.simulation.vectorized`), re-checks round-exact agreement
+with the reference :class:`~repro.simulation.runner.ProtocolRunner` on a
+prefix of every run, and persists one schema-validated ``BENCH_*.json``
+per scenario -- the baseline any future optimisation PR (e.g. the
+paper's clustering machinery) is judged against.
+
+* :mod:`repro.experiments.scenarios` -- :class:`Scenario`,
+  :class:`ScenarioRegistry` and the built-in sweep
+  (:data:`DEFAULT_REGISTRY`).
+* :mod:`repro.experiments.bench` -- :func:`run_benchmark`, the measured
+  execution of one scenario.
+* :mod:`repro.experiments.persistence` -- the ``repro-bench/1`` JSON
+  schema (:func:`validate_bench`, :func:`write_bench`,
+  :func:`load_bench`).
+* :mod:`repro.experiments.cli` -- the ``python -m repro.experiments``
+  command line (``list`` / ``run`` / ``sweep`` / ``validate``).
+
+See ``docs/EXPERIMENTS.md`` for the guide, including how to register a
+new scenario.
+"""
+
+from repro.experiments.bench import DEFAULT_REFERENCE_TRIALS, run_benchmark
+from repro.experiments.persistence import (
+    SCHEMA_VERSION,
+    bench_filename,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.experiments.scenarios import (
+    ALGORITHMS,
+    DEFAULT_REGISTRY,
+    Scenario,
+    ScenarioRegistry,
+    get_scenario,
+    iter_scenarios,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_REFERENCE_TRIALS",
+    "DEFAULT_REGISTRY",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioRegistry",
+    "bench_filename",
+    "get_scenario",
+    "iter_scenarios",
+    "load_bench",
+    "run_benchmark",
+    "validate_bench",
+    "write_bench",
+]

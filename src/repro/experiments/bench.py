@@ -1,0 +1,253 @@
+"""Executes one benchmark scenario and assembles its ``BENCH_*.json`` payload.
+
+A benchmark run measures the *vectorized* backend over the scenario's
+full trial batch and, unless disabled, re-runs a prefix of the trials on
+the pure-Python *reference* backend to (a) time the speedup headline and
+(b) re-verify round-exact backend agreement on live data -- every
+benchmark doubles as an equivalence check, so a drift between the
+backends can never hide inside a performance number.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import time
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.messages import Message
+from repro.topology.validation import summarize_topology
+from repro.core.compete import Compete
+from repro.core.leader_election import LeaderElectionResult, elect_leader
+from repro.core.parameters import CompeteParameters
+from repro.experiments.persistence import SCHEMA_VERSION
+from repro.experiments.scenarios import Scenario
+
+#: Reference trials re-run for timing/agreement unless overridden.
+DEFAULT_REFERENCE_TRIALS = 2
+
+
+def run_benchmark(
+    scenario: Scenario,
+    *,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    reference_trials: Optional[int] = None,
+    include_reference: bool = True,
+) -> dict[str, Any]:
+    """Run ``scenario`` and return its schema-valid benchmark payload.
+
+    Parameters
+    ----------
+    scenario:
+        What to run (see :class:`~repro.experiments.scenarios.Scenario`).
+    trials:
+        Override the scenario's vectorized trial count.
+    seed:
+        Override the scenario's base seed; trial ``i`` uses ``seed + i``
+        on both backends, which is what makes agreement checkable.
+    reference_trials:
+        How many of the trials to repeat on the reference backend
+        (capped at ``trials``; default 2).
+    include_reference:
+        Set False to skip the reference pass entirely -- faster, but the
+        payload then carries no speedup and no agreement check.
+
+    Raises
+    ------
+    SimulationError
+        If a reference trial disagrees with its vectorized counterpart
+        (the equivalence guarantee is broken -- never ignore this).
+    """
+    num_trials = trials if trials is not None else scenario.trials
+    if num_trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {num_trials}")
+    if reference_trials is not None and reference_trials < 0:
+        raise ConfigurationError(
+            f"reference_trials must be >= 0, got {reference_trials}"
+        )
+    base_seed = seed if seed is not None else scenario.seed
+    seeds = [base_seed + index for index in range(num_trials)]
+
+    graph = scenario.build_graph()
+    summary = summarize_topology(graph)
+    parameters = CompeteParameters.from_graph(
+        graph, diameter=summary.diameter, margin=scenario.margin
+    )
+
+    started = time.perf_counter()
+    vectorized = _run_trials(scenario, graph, parameters, seeds, "vectorized")
+    vectorized_seconds = time.perf_counter() - started
+
+    num_reference = 0
+    reference_seconds: Optional[float] = None
+    if include_reference:
+        num_reference = min(
+            num_trials,
+            reference_trials
+            if reference_trials is not None
+            else DEFAULT_REFERENCE_TRIALS,
+        )
+    if num_reference:
+        started = time.perf_counter()
+        reference = _run_trials(
+            scenario, graph, parameters, seeds[:num_reference], "reference"
+        )
+        reference_seconds = time.perf_counter() - started
+        _check_agreement(scenario, vectorized[:num_reference], reference)
+
+    stats = _aggregate(scenario, vectorized)
+    vec_per_trial = vectorized_seconds / num_trials
+    ref_per_trial = (
+        reference_seconds / num_reference if num_reference else None
+    )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "scenario": scenario.to_dict(),
+        "topology": {
+            "num_nodes": summary.num_nodes,
+            "num_edges": summary.num_edges,
+            "diameter": summary.diameter,
+            "max_degree": summary.max_degree,
+        },
+        "schedule": {
+            "decay_steps": parameters.decay_steps,
+            "num_decay_rounds": parameters.num_decay_rounds,
+            "total_rounds": parameters.total_rounds,
+        },
+        "trials": {
+            "vectorized": num_trials,
+            "reference": num_reference,
+            "base_seed": base_seed,
+        },
+        "results": stats,
+        "timing": {
+            "vectorized_seconds": vectorized_seconds,
+            "vectorized_seconds_per_trial": vec_per_trial,
+            "reference_seconds": reference_seconds,
+            "reference_seconds_per_trial": ref_per_trial,
+            "speedup": (
+                ref_per_trial / vec_per_trial
+                if ref_per_trial is not None and vec_per_trial > 0
+                else None
+            ),
+        },
+        "agreement": {
+            "checked_trials": num_reference,
+            # True iff agreement was actually checked; a disagreement
+            # raises instead of persisting, so this is never a false True.
+            "round_exact": num_reference > 0,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+    }
+
+
+def _run_trials(
+    scenario: Scenario,
+    graph,
+    parameters: CompeteParameters,
+    seeds: Sequence[int],
+    backend: str,
+) -> list:
+    """Run every seed on one backend, batched where the backend allows."""
+    if scenario.algorithm == "broadcast":
+        primitive = Compete(
+            graph,
+            parameters=parameters,
+            collision_model=scenario.collision(),
+            backend=backend,
+        )
+        source = graph.nodes()[0]
+        candidates = {source: Message(value=1, source=source)}
+        if backend == "vectorized":
+            return primitive.run_batch(
+                candidates, seeds=seeds, spontaneous=scenario.spontaneous
+            )
+        return [
+            primitive.run(
+                candidates, seed=seed, spontaneous=scenario.spontaneous
+            )
+            for seed in seeds
+        ]
+    # Leader election retries internally, so trials stay per-seed calls;
+    # the backend choice still vectorizes every attempt's Compete run.
+    return [
+        elect_leader(
+            graph,
+            seed=seed,
+            spontaneous=scenario.spontaneous,
+            parameters=parameters,
+            collision_model=scenario.collision(),
+            backend=backend,
+        )
+        for seed in seeds
+    ]
+
+
+def _check_agreement(
+    scenario: Scenario, vectorized: Sequence, reference: Sequence
+) -> None:
+    """Raise unless each reference trial matches its vectorized twin."""
+    for index, (fast, slow) in enumerate(zip(vectorized, reference)):
+        if isinstance(slow, LeaderElectionResult):
+            same = (
+                fast.success == slow.success
+                and fast.leader == slow.leader
+                and fast.attempts == slow.attempts
+                and fast.rounds == slow.rounds
+                and fast.metrics.as_dict() == slow.metrics.as_dict()
+            )
+        else:
+            same = (
+                fast.success == slow.success
+                and fast.winner == slow.winner
+                and fast.rounds == slow.rounds
+                and dict(fast.reception_rounds) == dict(slow.reception_rounds)
+                and fast.metrics.as_dict() == slow.metrics.as_dict()
+            )
+        if not same:
+            raise SimulationError(
+                f"backend disagreement in scenario {scenario.name!r}, trial "
+                f"{index}: the vectorized engine no longer matches the "
+                "reference runner round for round"
+            )
+
+
+def _aggregate(scenario: Scenario, results: Sequence) -> dict[str, Any]:
+    """Summarise per-trial series into the payload's ``results`` block."""
+    successes = sum(1 for result in results if result.success)
+    stats: dict[str, Any] = {
+        "success_rate": successes / len(results),
+        "rounds": _series([result.rounds for result in results]),
+        "transmissions": _series(
+            [result.metrics.transmissions for result in results]
+        ),
+        "receptions": _series(
+            [result.metrics.receptions for result in results]
+        ),
+        "collisions": _series(
+            [result.metrics.collisions for result in results]
+        ),
+    }
+    if scenario.algorithm == "leader-election":
+        stats["attempts"] = _series(
+            [result.attempts for result in results]
+        )
+    return stats
+
+
+def _series(values: Sequence[float]) -> dict[str, float]:
+    return {
+        "mean": float(sum(values) / len(values)),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }

@@ -1,0 +1,196 @@
+"""Command-line entry point: ``python -m repro.experiments <subcommand>``.
+
+Subcommands
+-----------
+``list``
+    Show registered scenarios (optionally filtered by ``--match`` /
+    ``--tag``), one per line, or as JSON with ``--json``.
+``run``
+    Run one scenario, print its headline numbers, and write
+    ``BENCH_<name>.json`` into ``--out`` (default ``benchmarks/``).
+``sweep``
+    Run every scenario a filter selects, emitting one artifact each.
+``validate``
+    Load ``BENCH_*.json`` files and check them against the documented
+    schema; exits non-zero on the first invalid file (CI uses this).
+
+See ``docs/EXPERIMENTS.md`` for a guided tour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.bench import run_benchmark
+from repro.experiments.persistence import load_bench, write_bench
+from repro.experiments.scenarios import DEFAULT_REGISTRY, Scenario
+
+#: Default output directory for benchmark artifacts.
+DEFAULT_OUTPUT_DIR = "benchmarks"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Benchmark scenarios for the radio-network reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered scenarios"
+    )
+    _add_filters(list_parser)
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the scenarios as JSON"
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one scenario and write BENCH_<name>.json"
+    )
+    run_parser.add_argument("scenario", help="registered scenario name")
+    _add_run_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run every scenario matching a filter"
+    )
+    _add_filters(sweep_parser)
+    sweep_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="run at most this many scenarios",
+    )
+    _add_run_options(sweep_parser)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="check BENCH_*.json files against the schema"
+    )
+    validate_parser.add_argument(
+        "paths", nargs="+", help="bench files to validate"
+    )
+    return parser
+
+
+def _add_filters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--match", default=None, help="substring filter on scenario names"
+    )
+    parser.add_argument(
+        "--tag", default=None, help="keep only scenarios carrying this tag"
+    )
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override the scenario's vectorized trial count",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's base seed",
+    )
+    parser.add_argument(
+        "--reference-trials", type=int, default=None,
+        help="how many trials to repeat on the reference backend",
+    )
+    parser.add_argument(
+        "--skip-reference", action="store_true",
+        help="skip the reference pass (no speedup / agreement check)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUTPUT_DIR,
+        help=f"output directory for artifacts (default: {DEFAULT_OUTPUT_DIR})",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "list":
+            return _command_list(arguments)
+        if arguments.command == "run":
+            return _command_run(arguments)
+        if arguments.command == "sweep":
+            return _command_sweep(arguments)
+        return _command_validate(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    scenarios = DEFAULT_REGISTRY.select(
+        match=arguments.match, tag=arguments.tag
+    )
+    if arguments.json:
+        print(json.dumps([s.to_dict() for s in scenarios], indent=2))
+        return 0
+    if not scenarios:
+        print("no scenarios match the filter")
+        return 0
+    width = max(len(scenario.name) for scenario in scenarios)
+    for scenario in scenarios:
+        tags = f" [{','.join(scenario.tags)}]" if scenario.tags else ""
+        print(
+            f"{scenario.name:<{width}}  {scenario.algorithm:<15} "
+            f"trials={scenario.trials:<3} {scenario.description}{tags}"
+        )
+    print(f"({len(scenarios)} scenarios)")
+    return 0
+
+
+def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
+    payload = run_benchmark(
+        scenario,
+        trials=arguments.trials,
+        seed=arguments.seed,
+        reference_trials=arguments.reference_trials,
+        include_reference=not arguments.skip_reference,
+    )
+    path = write_bench(payload, arguments.out)
+    timing = payload["timing"]
+    results = payload["results"]
+    speedup = (
+        f"{timing['speedup']:.1f}x vs reference"
+        if timing["speedup"] is not None
+        else "reference skipped"
+    )
+    print(
+        f"{scenario.name}: success_rate={results['success_rate']:.2f} "
+        f"rounds(mean)={results['rounds']['mean']:.0f} "
+        f"{timing['vectorized_seconds_per_trial'] * 1000:.1f} ms/trial "
+        f"({speedup}) -> {path}"
+    )
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    scenario = DEFAULT_REGISTRY.get(arguments.scenario)
+    _execute(arguments, scenario)
+    return 0
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    scenarios = DEFAULT_REGISTRY.select(
+        match=arguments.match, tag=arguments.tag
+    )
+    if arguments.limit is not None:
+        scenarios = scenarios[: arguments.limit]
+    if not scenarios:
+        print("no scenarios match the filter")
+        return 0
+    for scenario in scenarios:
+        _execute(arguments, scenario)
+    print(f"({len(scenarios)} scenarios swept)")
+    return 0
+
+
+def _command_validate(arguments: argparse.Namespace) -> int:
+    for path in arguments.paths:
+        payload = load_bench(path)
+        print(f"{path}: valid ({payload['scenario']['name']})")
+    return 0

@@ -1,0 +1,210 @@
+"""Persistence and validation of benchmark results (``BENCH_*.json``).
+
+Every benchmark run emits one JSON document whose layout is pinned by
+:data:`SCHEMA_VERSION` and enforced by :func:`validate_bench`.  The
+schema is deliberately validated by hand (no external JSON-schema
+dependency) with error messages that name the offending path, so a
+malformed artifact fails loudly in CI rather than silently skewing a
+trend line.  The full field-by-field description lives in
+``docs/EXPERIMENTS.md``; the invariants encoded here and there must stay
+in sync.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Identifies the layout of a ``BENCH_*.json`` document.  Bump only with
+#: a migration note in ``docs/EXPERIMENTS.md``.
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Statistic blocks summarising a per-trial series.
+_SERIES_KEYS = ("mean", "min", "max")
+
+
+def bench_filename(scenario_name: str) -> str:
+    """The canonical artifact name for a scenario's benchmark result."""
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "-", scenario_name).strip("-")
+    if not stem:
+        raise ConfigurationError(
+            f"scenario name {scenario_name!r} leaves no filename characters"
+        )
+    return f"BENCH_{stem}.json"
+
+
+def write_bench(
+    payload: Mapping[str, Any], directory: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Validate ``payload`` and write it to ``directory``.
+
+    Returns the written path.  The directory is created if needed; the
+    filename is derived from the payload's scenario name, so re-running a
+    scenario overwrites its previous artifact.
+    """
+    validate_bench(payload)
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / bench_filename(payload["scenario"]["name"])
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, pathlib.Path]) -> dict[str, Any]:
+    """Load and validate one ``BENCH_*.json`` document."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"cannot read bench file {path}: {error}")
+    validate_bench(payload)
+    return payload
+
+
+def validate_bench(payload: Mapping[str, Any]) -> None:
+    """Check ``payload`` against the documented ``repro-bench/1`` schema.
+
+    Raises
+    ------
+    ConfigurationError
+        Naming the first violated field.
+    """
+    _expect(isinstance(payload, Mapping), "payload", "must be a JSON object")
+    _field(payload, "schema", str)
+    _expect(
+        payload["schema"] == SCHEMA_VERSION,
+        "schema",
+        f"must be {SCHEMA_VERSION!r}, got {payload['schema']!r}",
+    )
+    _field(payload, "created_at", str)
+
+    scenario = _field(payload, "scenario", Mapping)
+    _field(scenario, "name", str, path="scenario.name")
+    _field(scenario, "family", str, path="scenario.family")
+    _field(scenario, "algorithm", str, path="scenario.algorithm")
+    _field(scenario, "collision_model", str, path="scenario.collision_model")
+    _field(scenario, "spontaneous", bool, path="scenario.spontaneous")
+    _field(scenario, "topology_args", Mapping, path="scenario.topology_args")
+
+    topo = _field(payload, "topology", Mapping)
+    for key in ("num_nodes", "num_edges", "diameter", "max_degree"):
+        _int_field(topo, key, minimum=0, path=f"topology.{key}")
+    _expect(topo["num_nodes"] >= 1, "topology.num_nodes", "must be >= 1")
+
+    schedule = _field(payload, "schedule", Mapping)
+    for key in ("decay_steps", "num_decay_rounds", "total_rounds"):
+        _int_field(schedule, key, minimum=1, path=f"schedule.{key}")
+
+    trials = _field(payload, "trials", Mapping)
+    _int_field(trials, "vectorized", minimum=1, path="trials.vectorized")
+    _int_field(trials, "reference", minimum=0, path="trials.reference")
+    _int_field(trials, "base_seed", path="trials.base_seed")
+
+    results = _field(payload, "results", Mapping)
+    rate = _field(results, "success_rate", (int, float), path="results.success_rate")
+    _expect(0.0 <= rate <= 1.0, "results.success_rate", "must be in [0, 1]")
+    for key in ("rounds", "transmissions", "receptions", "collisions"):
+        _series(results, key)
+    if payload["scenario"]["algorithm"] == "leader-election":
+        _series(results, "attempts")
+
+    timing = _field(payload, "timing", Mapping)
+    _number_field(timing, "vectorized_seconds", minimum=0.0, path="timing.vectorized_seconds")
+    _number_field(timing, "vectorized_seconds_per_trial", minimum=0.0,
+                  path="timing.vectorized_seconds_per_trial")
+    for key in ("reference_seconds", "reference_seconds_per_trial", "speedup"):
+        value = timing.get(key)
+        if value is not None:
+            _number_field(timing, key, minimum=0.0, path=f"timing.{key}")
+    has_reference = trials["reference"] > 0
+    _expect(
+        (timing.get("speedup") is not None) == has_reference,
+        "timing.speedup",
+        "must be present exactly when reference trials were run",
+    )
+
+    agreement = _field(payload, "agreement", Mapping)
+    _int_field(agreement, "checked_trials", minimum=0, path="agreement.checked_trials")
+    _field(agreement, "round_exact", bool, path="agreement.round_exact")
+    _expect(
+        agreement["checked_trials"] <= trials["reference"],
+        "agreement.checked_trials",
+        "cannot exceed the number of reference trials",
+    )
+    _expect(
+        agreement["round_exact"] == (agreement["checked_trials"] > 0),
+        "agreement.round_exact",
+        "must be true exactly when agreement was checked (a run that "
+        "observes a disagreement raises instead of persisting)",
+    )
+
+    environment = _field(payload, "environment", Mapping)
+    for key in ("python", "numpy", "platform"):
+        _field(environment, key, str, path=f"environment.{key}")
+
+
+# ----------------------------------------------------------------------
+# validation helpers
+# ----------------------------------------------------------------------
+def _expect(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(f"bench payload invalid at {path}: {message}")
+
+
+def _field(
+    container: Mapping[str, Any],
+    key: str,
+    types,
+    path: Optional[str] = None,
+) -> Any:
+    path = path or key
+    _expect(key in container, path, "missing required field")
+    value = container[key]
+    if types is bool:
+        _expect(isinstance(value, bool), path, "must be a boolean")
+    else:
+        _expect(
+            isinstance(value, types) and not isinstance(value, bool),
+            path,
+            f"has wrong type {type(value).__name__}",
+        )
+    return value
+
+
+def _int_field(
+    container: Mapping[str, Any],
+    key: str,
+    minimum: Optional[int] = None,
+    path: Optional[str] = None,
+) -> int:
+    value = _field(container, key, int, path=path)
+    if minimum is not None:
+        _expect(value >= minimum, path or key, f"must be >= {minimum}")
+    return value
+
+
+def _number_field(
+    container: Mapping[str, Any],
+    key: str,
+    minimum: Optional[float] = None,
+    path: Optional[str] = None,
+) -> float:
+    value = _field(container, key, (int, float), path=path)
+    if minimum is not None:
+        _expect(value >= minimum, path or key, f"must be >= {minimum}")
+    return float(value)
+
+
+def _series(results: Mapping[str, Any], key: str) -> None:
+    block = _field(results, key, Mapping, path=f"results.{key}")
+    for stat in _SERIES_KEYS:
+        _number_field(block, stat, path=f"results.{key}.{stat}")
+    _expect(
+        block["min"] <= block["mean"] <= block["max"],
+        f"results.{key}",
+        "must satisfy min <= mean <= max",
+    )

@@ -1,0 +1,325 @@
+"""The benchmark scenario registry.
+
+A :class:`Scenario` is a fully specified, reproducible experiment: a
+named topology (family + arguments, resolvable through
+:data:`repro.topology.FAMILIES`), an algorithm, a collision model, the
+spontaneous-transmission switch, and trial/seed defaults.  Scenarios are
+plain data -- they serialise into the ``scenario`` block of a
+``BENCH_*.json`` file and can be rebuilt from it exactly.
+
+The :data:`DEFAULT_REGISTRY` sweeps the regimes the paper's bounds are
+stated in: paths (``n = D + 1``, where spontaneous transmissions help
+most), grids (``n = Θ(D²)``), stars and complete graphs (constant ``D``,
+maximal contention), trees (``D = Θ(log n)``), clique corridors (the
+Section 6 shape) and seeded random families -- each at small and medium
+``n``, for broadcast and leader election, plus collision-detection and
+classical (non-spontaneous) baseline variants.
+
+>>> scenario = get_scenario("broadcast-path-n32")
+>>> scenario.algorithm, scenario.family
+('broadcast', 'path')
+>>> scenario.build_graph().num_nodes
+32
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+from repro.network.radio import CollisionModel
+from repro.core.parameters import DEFAULT_MARGIN
+from repro import topology
+
+#: Algorithms a scenario may benchmark.
+ALGORITHMS = ("broadcast", "leader-election")
+
+#: Families whose generators draw randomness.  Scenarios over these must
+#: pin an explicit ``seed`` in ``topology_args``: the persisted scenario
+#: block is documented as rebuilding the topology *exactly*, which an
+#: unseeded random generator would silently break.
+RANDOM_FAMILIES = frozenset(
+    {"gnp", "geometric", "clustered", "random-tree", "diameter-controlled"}
+)
+
+_COLLISION_MODELS = {model.value: model for model in CollisionModel}
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One reproducible benchmark configuration.
+
+    Attributes
+    ----------
+    name:
+        Unique registry key (also the ``BENCH_<name>.json`` stem).
+    description:
+        One line shown by ``python -m repro.experiments list``.
+    family:
+        Topology family name, a key of :data:`repro.topology.FAMILIES`.
+    topology_args:
+        Keyword arguments for the family generator (JSON-serialisable).
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    collision_model:
+        ``"no-detection"`` (the paper's model) or ``"with-detection"``.
+    spontaneous:
+        Whether uninformed nodes transmit from round 0 (the paper's
+        distinguishing assumption); the classical baseline sets False.
+    trials:
+        Default number of seeded trials per benchmark run.
+    seed:
+        Default base seed; trial ``i`` uses ``seed + i``.
+    margin:
+        Schedule margin forwarded to
+        :class:`~repro.core.parameters.CompeteParameters`.
+    tags:
+        Free-form labels for ``--tag`` filtering (e.g. ``"smoke"``,
+        ``"large"``).
+    """
+
+    name: str
+    description: str
+    family: str
+    topology_args: Mapping[str, Any]
+    algorithm: str
+    collision_model: str = CollisionModel.NO_DETECTION.value
+    spontaneous: bool = True
+    trials: int = 8
+    seed: int = 2017
+    margin: float = DEFAULT_MARGIN
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}"
+            )
+        if self.family not in topology.FAMILIES:
+            known = ", ".join(sorted(topology.FAMILIES))
+            raise ConfigurationError(
+                f"unknown topology family {self.family!r}; known: {known}"
+            )
+        if self.collision_model not in _COLLISION_MODELS:
+            raise ConfigurationError(
+                "collision_model must be one of "
+                f"{sorted(_COLLISION_MODELS)}, got {self.collision_model!r}"
+            )
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
+        if self.family in RANDOM_FAMILIES and "seed" not in self.topology_args:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: random family {self.family!r} "
+                "requires an explicit 'seed' in topology_args so the "
+                "persisted scenario rebuilds the same topology"
+            )
+
+    def build_graph(self) -> Graph:
+        """Instantiate the scenario's topology."""
+        return topology.make_topology(self.family, **dict(self.topology_args))
+
+    def collision(self) -> CollisionModel:
+        """The collision model as the enum the network layer uses."""
+        return _COLLISION_MODELS[self.collision_model]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serialisable form persisted into ``BENCH_*.json``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "family": self.family,
+            "topology_args": dict(self.topology_args),
+            "algorithm": self.algorithm,
+            "collision_model": self.collision_model,
+            "spontaneous": self.spontaneous,
+            "trials": self.trials,
+            "seed": self.seed,
+            "margin": self.margin,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            family=data["family"],
+            topology_args=dict(data.get("topology_args", {})),
+            algorithm=data["algorithm"],
+            collision_model=data.get(
+                "collision_model", CollisionModel.NO_DETECTION.value
+            ),
+            spontaneous=bool(data.get("spontaneous", True)),
+            trials=int(data.get("trials", 8)),
+            seed=int(data.get("seed", 2017)),
+            margin=float(data.get("margin", DEFAULT_MARGIN)),
+            tags=tuple(data.get("tags", ())),
+        )
+
+
+class ScenarioRegistry:
+    """A named collection of scenarios with filtering.
+
+    The module-level :data:`DEFAULT_REGISTRY` holds the built-in sweep;
+    downstream code can also build private registries (tests do):
+
+    >>> registry = ScenarioRegistry()
+    >>> _ = registry.register(Scenario(
+    ...     name="demo", description="tiny demo", family="path",
+    ...     topology_args={"num_nodes": 8}, algorithm="broadcast"))
+    >>> "demo" in registry and len(registry) == 1
+    True
+    """
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        """Add ``scenario``; duplicate names are rejected."""
+        if scenario.name in self._scenarios:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} is already registered"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        """Look up a scenario by exact name."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            hint = ", ".join(sorted(self._scenarios)) or "(registry is empty)"
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; known scenarios: {hint}"
+            ) from None
+
+    def select(
+        self,
+        match: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> list[Scenario]:
+        """Scenarios whose name contains ``match`` and tags include ``tag``."""
+        chosen = []
+        for name in sorted(self._scenarios):
+            scenario = self._scenarios[name]
+            if match is not None and match not in name:
+                continue
+            if tag is not None and tag not in scenario.tags:
+                continue
+            chosen.append(scenario)
+        return chosen
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.select())
+
+
+def _populate(registry: ScenarioRegistry) -> None:
+    """Register the built-in topology x regime x algorithm sweep."""
+
+    def add(name, description, family, args, algorithm, **kwargs):
+        registry.register(
+            Scenario(
+                name=name,
+                description=description,
+                family=family,
+                topology_args=args,
+                algorithm=algorithm,
+                **kwargs,
+            )
+        )
+
+    # --- broadcast: the n = D + 1 extreme (spontaneous transmissions
+    # matter most) -------------------------------------------------------
+    add("broadcast-path-n32", "path, n=32=D+1", "path",
+        {"num_nodes": 32}, "broadcast", tags=("smoke",))
+    add("broadcast-path-n256", "path, n=256=D+1", "path",
+        {"num_nodes": 256}, "broadcast")
+    add("broadcast-path-n256-classical",
+        "path, n=256, classical model (no spontaneous transmissions)",
+        "path", {"num_nodes": 256}, "broadcast", spontaneous=False,
+        tags=("classical",))
+
+    # --- broadcast: constant-D, maximal contention ----------------------
+    add("broadcast-star-n32", "star, n=32, D=2", "star",
+        {"num_leaves": 31}, "broadcast", tags=("smoke",))
+    add("broadcast-star-n256", "star, n=256, D=2", "star",
+        {"num_leaves": 255}, "broadcast")
+
+    # --- broadcast: n = Theta(D^2) grids --------------------------------
+    add("broadcast-grid-n64", "8x8 grid, n=64", "grid",
+        {"rows": 8, "cols": 8}, "broadcast", tags=("smoke",))
+    add("broadcast-grid-n256", "16x16 grid, n=256", "grid",
+        {"rows": 16, "cols": 16}, "broadcast")
+    add("broadcast-grid-n1024", "32x32 grid, n=1024", "grid",
+        {"rows": 32, "cols": 32}, "broadcast", trials=4, tags=("large",))
+    add("broadcast-grid-n256-detect",
+        "16x16 grid with collision detection (baseline comparison model)",
+        "grid", {"rows": 16, "cols": 16}, "broadcast",
+        collision_model=CollisionModel.WITH_DETECTION.value,
+        tags=("detect",))
+
+    # --- broadcast: D = Theta(log n) trees and dense corridors ----------
+    add("broadcast-tree-n255", "complete binary tree, depth 7, n=255",
+        "binary-tree", {"depth": 7}, "broadcast")
+    add("broadcast-cliquepath-n256",
+        "32 cliques of 8 in a corridor (Section 6 shape), n=256",
+        "path-of-cliques", {"num_cliques": 32, "clique_size": 8},
+        "broadcast")
+    add("broadcast-caterpillar-n256",
+        "caterpillar: spine 16, 15 legs per node, n=256, D=17",
+        "caterpillar", {"spine_length": 16, "legs_per_node": 15},
+        "broadcast")
+
+    # --- broadcast: seeded random deployments ---------------------------
+    add("broadcast-gnp-n64", "connected G(64, 0.08)", "gnp",
+        {"num_nodes": 64, "edge_probability": 0.08, "seed": 64},
+        "broadcast", tags=("smoke", "random"))
+    add("broadcast-gnp-n256", "connected G(256, 0.03)", "gnp",
+        {"num_nodes": 256, "edge_probability": 0.03, "seed": 256},
+        "broadcast", tags=("random",))
+    add("broadcast-randomtree-n256", "uniform random tree, n=256",
+        "random-tree", {"num_nodes": 256, "seed": 256}, "broadcast",
+        tags=("random",))
+
+    # --- leader election -------------------------------------------------
+    add("election-complete-n32", "complete graph, n=32", "complete",
+        {"num_nodes": 32}, "leader-election", spontaneous=False,
+        tags=("smoke",), trials=4)
+    add("election-grid-n64", "8x8 grid, n=64", "grid",
+        {"rows": 8, "cols": 8}, "leader-election", spontaneous=False,
+        trials=4, tags=("smoke",))
+    add("election-grid-n256", "16x16 grid, n=256", "grid",
+        {"rows": 16, "cols": 16}, "leader-election", spontaneous=False,
+        trials=4)
+    add("election-gnp-n64", "connected G(64, 0.08)", "gnp",
+        {"num_nodes": 64, "edge_probability": 0.08, "seed": 64},
+        "leader-election", spontaneous=False, trials=4,
+        tags=("random",))
+
+
+#: The built-in scenario sweep used by the CLI.
+DEFAULT_REGISTRY = ScenarioRegistry()
+_populate(DEFAULT_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up ``name`` in :data:`DEFAULT_REGISTRY`."""
+    return DEFAULT_REGISTRY.get(name)
+
+
+def iter_scenarios(
+    match: Optional[str] = None, tag: Optional[str] = None
+) -> list[Scenario]:
+    """Filter :data:`DEFAULT_REGISTRY` (see :meth:`ScenarioRegistry.select`)."""
+    return DEFAULT_REGISTRY.select(match=match, tag=tag)

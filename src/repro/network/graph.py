@@ -428,6 +428,37 @@ class Graph:
         path_mid = self.shortest_path(start, far)
         return path_mid[len(path_mid) // 2]
 
+    def adjacency_matrix(self, order: Optional[list] = None):
+        """Return the dense boolean adjacency matrix and its node order.
+
+        Returns ``(matrix, nodes)`` where ``matrix[i, j]`` is True iff
+        ``nodes[i]`` and ``nodes[j]`` are adjacent and ``nodes`` is the
+        insertion order (or the explicit ``order`` argument, which must be
+        a permutation of the node set).  The matrix is the substrate of
+        :mod:`repro.simulation.vectorized`, which computes whole-network
+        collision outcomes as matrix products.
+
+        ``numpy`` is imported lazily so the graph module itself stays
+        dependency-free.
+        """
+        import numpy as np
+
+        if order is None:
+            nodes = self.nodes()
+        else:
+            nodes = list(order)
+            if set(nodes) != set(self._adjacency) or len(nodes) != self.num_nodes:
+                raise GraphError(
+                    "order must be a permutation of the graph's node set"
+                )
+        index = {node: i for i, node in enumerate(nodes)}
+        matrix = np.zeros((len(nodes), len(nodes)), dtype=bool)
+        for node, neighbours in self._adjacency.items():
+            i = index[node]
+            for neighbour in neighbours:
+                matrix[i, index[neighbour]] = True
+        return matrix, nodes
+
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------

@@ -75,7 +75,17 @@ class Message:
         """
         if other is None:
             return True
-        return (self.value, self._source_key()) > (other.value, other._source_key())
+        return self.sort_key() > other.sort_key()
+
+    def sort_key(self) -> tuple:
+        """The total-order key ``(value, source tie-break)`` behind :meth:`beats`.
+
+        The vectorized engine ranks every message in play by this key once
+        up front and then compares dense integer ranks instead of message
+        objects, so the key must induce exactly the same order as
+        :meth:`beats` -- both share this implementation.
+        """
+        return (self.value, self._source_key())
 
     def _source_key(self):
         """A total-orderable key for the source tie-breaker."""

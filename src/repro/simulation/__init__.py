@@ -1,12 +1,34 @@
-"""Round-accurate simulation harness for radio-network protocols.
+"""Simulation harness for radio-network protocols: two equivalent backends.
 
-* :mod:`repro.simulation.runner` -- :class:`ProtocolRunner`, the driver
-  that advances per-node :class:`~repro.network.protocol.NodeProtocol`
-  objects one synchronous round at a time against
+* :mod:`repro.simulation.runner` -- :class:`ProtocolRunner`, the
+  *reference* backend: it advances per-node
+  :class:`~repro.network.protocol.NodeProtocol` objects one synchronous
+  round at a time against
   :meth:`~repro.network.radio.RadioNetwork.run_round`, with per-node
   seedable randomness, a round budget and pluggable stop conditions.
+  This is the auditable, information-hiding-faithful implementation of
+  the model; every semantic question is settled here.
+* :mod:`repro.simulation.vectorized` -- the *vectorized* backend:
+  :class:`VectorizedCompeteEngine` computes whole rounds of the Compete
+  dynamics (and whole batches of seeded trials) as dense NumPy operations
+  on the adjacency matrix.  It exists for the benchmark sweeps in
+  :mod:`repro.experiments`, where it is typically one to two orders of
+  magnitude faster per trial.
 * :mod:`repro.simulation.results` -- the structured
   :class:`RunResult` / :class:`StopReason` types every run returns.
+
+Equivalence guarantee
+---------------------
+The vectorized engine is a drop-in backend, not an approximation: for the
+same graph, candidate set and seed it reproduces the reference runner
+**round for round** -- identical transmission decisions, receptions,
+adoption rounds, stop round and
+:class:`~repro.network.metrics.NetworkMetrics` counters.  It achieves
+this by replaying the reference's per-node random streams (one
+``SeedSequence(seed).spawn(n)`` child per node, one uniform draw per
+informed round) in batched form.  The guarantee is pinned by the
+property-style tests in ``tests/test_vectorized.py`` and re-checked on
+every benchmark run that includes the reference backend.
 """
 
 from repro.simulation.results import RunResult, StopReason
@@ -16,6 +38,12 @@ from repro.simulation.runner import (
     build_seeded_protocols,
     spawn_node_rngs,
 )
+from repro.simulation.vectorized import (
+    BatchOutcome,
+    DrawStreams,
+    VectorizedCompeteEngine,
+    rank_messages,
+)
 
 __all__ = [
     "RunResult",
@@ -24,4 +52,8 @@ __all__ = [
     "SeededProtocolFactory",
     "build_seeded_protocols",
     "spawn_node_rngs",
+    "BatchOutcome",
+    "DrawStreams",
+    "VectorizedCompeteEngine",
+    "rank_messages",
 ]

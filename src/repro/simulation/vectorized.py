@@ -1,0 +1,363 @@
+"""NumPy-vectorized batch simulation of Compete-style message floods.
+
+:class:`~repro.simulation.runner.ProtocolRunner` advances one node at a
+time in pure Python -- ideal for auditing the model, far too slow for the
+benchmark sweeps the ROADMAP calls for.  This module is the fast path:
+one synchronous round of the whole network (and of a whole *batch* of
+independent trials) is computed as a handful of dense array operations on
+the graph's adjacency matrix.
+
+The engine exploits a structural fact about the Compete dynamics
+(:mod:`repro.core.compete`): the only messages ever on the air are the
+initial candidate/dummy messages, and nodes compare them through the
+total order of :meth:`repro.network.messages.Message.sort_key`.  Ranking
+the messages once up front therefore reduces every node's state to a
+single integer -- the *rank* of the best message it knows (0 = knows
+nothing) -- and one round becomes:
+
+* ``transmit = informed & (uniform_draw < 2^-step)``   (the Decay rule),
+* ``counts   = transmit @ A``                          (transmitting
+  neighbours per listener),
+* a listener with ``counts == 1`` receives the unique transmitter's
+  rank, obtained from ``(transmit * rank) @ A``,
+* ``rank = max(rank, received_rank)``                  (adopt-if-higher).
+
+All three are batched over an additional leading *trial* axis, so many
+seeded trials run simultaneously through the same matrix products.
+
+Round-exact equivalence with the reference runner
+-------------------------------------------------
+The engine is a *drop-in* backend, not an approximation: for the same
+graph, candidates and seed it reproduces the reference simulation round
+for round -- same transmissions, same receptions, same adoption rounds,
+same metric counters.  The one subtle requirement is randomness: the
+reference gives each node a private generator from
+``SeedSequence(seed).spawn(n)`` (:func:`~repro.simulation.runner.spawn_node_rngs`)
+and a node consumes exactly one uniform draw per round *while it holds a
+message* (uninformed nodes listen without drawing).  :class:`DrawStreams`
+replays those per-node streams from identically-spawned generators,
+pre-drawing blocks per node and consuming them one element per informed
+round, so the k-th decision of every node matches the reference's k-th
+decision exactly.  ``tests/test_vectorized.py`` pins this equivalence on
+path/star/grid/random topologies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+from repro.network.metrics import NetworkMetrics
+
+#: Rank value meaning "this node knows no message yet".
+NO_MESSAGE = 0
+
+#: Default number of uniform draws pre-fetched per (trial, node) stream.
+#: Larger blocks amortise the per-generator Python call over more rounds
+#: at the cost of ``trials * n * block * 8`` bytes of buffer.
+DEFAULT_DRAW_BLOCK = 128
+
+
+class DrawStreams:
+    """Replays the reference runner's per-node uniform draw streams, batched.
+
+    One stream per (trial, node) pair, seeded exactly like
+    :func:`~repro.simulation.runner.spawn_node_rngs`: trial ``t`` spawns
+    ``SeedSequence(seeds[t]).spawn(num_nodes)`` and stream ``i`` draws from
+    ``default_rng`` of the i-th child.  :meth:`take` hands out the next
+    element of each requested stream; streams that are not requested in a
+    round advance by nothing, mirroring a listening (uninformed) node.
+    """
+
+    def __init__(
+        self,
+        seeds: Sequence[Optional[int]],
+        num_nodes: int,
+        block: int = DEFAULT_DRAW_BLOCK,
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        if block < 1:
+            raise ConfigurationError(f"block must be >= 1, got {block}")
+        self._block = block
+        self._generators: list[np.random.Generator] = []
+        for seed in seeds:
+            children = np.random.SeedSequence(seed).spawn(num_nodes)
+            self._generators.extend(np.random.default_rng(c) for c in children)
+        count = len(self._generators)
+        self._buffer = np.empty((count, block), dtype=np.float64)
+        for row, generator in enumerate(self._generators):
+            self._buffer[row] = generator.random(block)
+        self._position = np.zeros(count, dtype=np.int64)
+
+    def take(self, wanted: np.ndarray) -> np.ndarray:
+        """Return the next draw of every stream where ``wanted`` is True.
+
+        ``wanted`` is a flat boolean array over the ``trials * num_nodes``
+        streams.  The result has the same shape, with ``nan`` in positions
+        that were not requested (callers use the draws only in comparisons,
+        where ``nan`` compares False).
+        """
+        indices = np.nonzero(wanted)[0]
+        exhausted = indices[self._position[indices] == self._block]
+        for row in exhausted:
+            self._buffer[row] = self._generators[row].random(self._block)
+            self._position[row] = 0
+        draws = np.full(wanted.shape, np.nan)
+        draws[indices] = self._buffer[indices, self._position[indices]]
+        self._position[indices] += 1
+        return draws
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchOutcome:
+    """Per-trial outcome arrays of one :meth:`VectorizedCompeteEngine.run_batch`.
+
+    All arrays share the trial axis; per-node arrays are aligned with
+    :attr:`nodes` (the graph's insertion order).
+
+    Attributes
+    ----------
+    nodes:
+        Node order of the per-node axes.
+    rounds:
+        Rounds executed per trial (a trial stops as soon as it saturates).
+    saturated:
+        Whether every node ended the trial holding ``winner_rank``.
+    final_ranks:
+        Each node's final best-message rank (:data:`NO_MESSAGE` = none).
+    adopted_rounds:
+        Round in which each node adopted its final rank; ``-1`` for ranks
+        held since before round 0.  Meaningful only where ``final_ranks``
+        is not :data:`NO_MESSAGE`.
+    transmissions / receptions / collisions / idle_listens:
+        Per-trial metric counters with exactly the semantics of
+        :class:`~repro.network.metrics.NetworkMetrics`.
+    """
+
+    nodes: tuple
+    rounds: np.ndarray
+    saturated: np.ndarray
+    final_ranks: np.ndarray
+    adopted_rounds: np.ndarray
+    transmissions: np.ndarray
+    receptions: np.ndarray
+    collisions: np.ndarray
+    idle_listens: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        return int(self.rounds.shape[0])
+
+    def metrics(self, trial: int) -> NetworkMetrics:
+        """Return one trial's counters as a :class:`NetworkMetrics`."""
+        return NetworkMetrics(
+            rounds=int(self.rounds[trial]),
+            transmissions=int(self.transmissions[trial]),
+            receptions=int(self.receptions[trial]),
+            collisions=int(self.collisions[trial]),
+            idle_listens=int(self.idle_listens[trial]),
+        )
+
+
+class VectorizedCompeteEngine:
+    """Batch-simulates the Compete dynamics on one fixed topology.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  Its adjacency matrix is densified once
+        at construction; the engine is therefore intended for the
+        benchmark regime (hundreds to a few thousand nodes), not for
+        graphs too large to hold an ``n x n`` matrix.
+    decay_steps:
+        Steps per Decay round (``⌈log2 n⌉``); the transmission probability
+        in global round ``r`` is ``2^-((r mod decay_steps) + 1)``, exactly
+        the schedule of :class:`~repro.core.compete.CompeteProtocol`.
+    max_rounds:
+        Round budget per trial.
+    draw_block:
+        Pre-draw block size for :class:`DrawStreams`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        decay_steps: int,
+        max_rounds: int,
+        draw_block: int = DEFAULT_DRAW_BLOCK,
+    ) -> None:
+        if decay_steps < 1:
+            raise ConfigurationError(f"decay_steps must be >= 1, got {decay_steps}")
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+        matrix, nodes = graph.adjacency_matrix()
+        # float32 matmuls are ~2x faster and remain exact as long as every
+        # intermediate integer stays below 2^24: neighbour counts are <= n
+        # and rank sums are <= n * n (ranks are dense, so < n).
+        dtype = np.float32 if len(nodes) ** 2 < 2**24 else np.float64
+        self._adjacency = matrix.astype(dtype)
+        self._nodes = tuple(nodes)
+        self._decay_steps = decay_steps
+        self._max_rounds = max_rounds
+        self._draw_block = draw_block
+
+    @property
+    def nodes(self) -> tuple:
+        """Node order of the engine's per-node axes."""
+        return self._nodes
+
+    def run_batch(
+        self,
+        initial_ranks: np.ndarray,
+        winner_rank: Optional[int],
+        seeds: Sequence[Optional[int]],
+    ) -> BatchOutcome:
+        """Run one seeded trial per row of ``initial_ranks``.
+
+        Parameters
+        ----------
+        initial_ranks:
+            Integer array of shape ``(trials, n)``: each node's starting
+            message rank (:data:`NO_MESSAGE` for nodes that know nothing),
+            aligned with :attr:`nodes`.
+        winner_rank:
+            The rank whose saturation ends a trial early, or ``None`` to
+            always run the full budget (the no-candidate case, where the
+            reference run can never succeed either).
+        seeds:
+            One seed per trial, consumed exactly like the reference
+            runner's ``seed`` argument.
+        """
+        ranks = np.asarray(initial_ranks, dtype=np.int64)
+        if ranks.ndim != 2 or ranks.shape[1] != len(self._nodes):
+            raise ConfigurationError(
+                "initial_ranks must have shape (trials, "
+                f"{len(self._nodes)}), got {ranks.shape}"
+            )
+        num_trials = ranks.shape[0]
+        if len(seeds) != num_trials:
+            raise ConfigurationError(
+                f"got {len(seeds)} seeds for {num_trials} trials"
+            )
+        if (ranks < NO_MESSAGE).any():
+            raise ConfigurationError("ranks must be >= 0 (0 = no message)")
+
+        ranks = ranks.copy()
+        adopted = np.full(ranks.shape, -1, dtype=np.int64)
+        rounds = np.zeros(num_trials, dtype=np.int64)
+        transmissions = np.zeros(num_trials, dtype=np.int64)
+        receptions = np.zeros(num_trials, dtype=np.int64)
+        collisions = np.zeros(num_trials, dtype=np.int64)
+        idle_listens = np.zeros(num_trials, dtype=np.int64)
+
+        def saturated_now() -> np.ndarray:
+            if winner_rank is None:
+                return np.zeros(num_trials, dtype=bool)
+            return (ranks == winner_rank).all(axis=1)
+
+        saturated = saturated_now()
+        active = ~saturated
+
+        # A trial with no informed node can never transmit again (ranks
+        # only grow through receptions), so its whole remaining schedule
+        # is provably silent: charge it in one step -- every node idles
+        # every round, exactly what the reference runner would simulate.
+        # This makes candidate-less leader-election attempts near-free.
+        silent = active & ~(ranks > NO_MESSAGE).any(axis=1)
+        if silent.any():
+            rounds[silent] = self._max_rounds
+            idle_listens[silent] += self._max_rounds * len(self._nodes)
+            active &= ~silent
+
+        if not active.any() or self._max_rounds == 0:
+            return self._outcome(
+                rounds, saturated, ranks, adopted,
+                transmissions, receptions, collisions, idle_listens,
+            )
+
+        adjacency = self._adjacency
+        streams = DrawStreams(seeds, len(self._nodes), self._draw_block)
+
+        for round_number in range(self._max_rounds):
+            step = (round_number % self._decay_steps) + 1
+            probability = 2.0 ** (-step)
+
+            informed = (ranks > NO_MESSAGE) & active[:, None]
+            draws = streams.take(informed.ravel()).reshape(informed.shape)
+            transmit = informed & (draws < probability)
+
+            transmit_f = transmit.astype(adjacency.dtype)
+            neighbour_counts = transmit_f @ adjacency
+            received = (
+                (transmit_f * ranks.astype(adjacency.dtype)) @ adjacency
+            ).astype(np.int64)
+            unique = neighbour_counts == 1.0
+            # Half-duplex: a transmitter hears nothing this round.
+            received_ranks = np.where(unique & ~transmit, received, NO_MESSAGE)
+
+            improved = received_ranks > ranks
+            adopted[improved] = round_number
+            np.maximum(ranks, received_ranks, out=ranks)
+
+            listening = ~transmit & active[:, None]
+            rounds[active] += 1
+            transmissions += np.where(active, transmit.sum(axis=1), 0)
+            receptions += np.where(active, (listening & unique).sum(axis=1), 0)
+            collisions += np.where(
+                active, (listening & (neighbour_counts >= 2.0)).sum(axis=1), 0
+            )
+            idle_listens += np.where(
+                active, (listening & (neighbour_counts == 0.0)).sum(axis=1), 0
+            )
+
+            saturated = saturated_now()
+            active &= ~saturated
+            if not active.any():
+                break
+
+        return self._outcome(
+            rounds, saturated, ranks, adopted,
+            transmissions, receptions, collisions, idle_listens,
+        )
+
+    def _outcome(
+        self,
+        rounds: np.ndarray,
+        saturated: np.ndarray,
+        ranks: np.ndarray,
+        adopted: np.ndarray,
+        transmissions: np.ndarray,
+        receptions: np.ndarray,
+        collisions: np.ndarray,
+        idle_listens: np.ndarray,
+    ) -> BatchOutcome:
+        return BatchOutcome(
+            nodes=self._nodes,
+            rounds=rounds,
+            saturated=saturated,
+            final_ranks=ranks,
+            adopted_rounds=adopted,
+            transmissions=transmissions,
+            receptions=receptions,
+            collisions=collisions,
+            idle_listens=idle_listens,
+        )
+
+
+def rank_messages(messages) -> dict:
+    """Return the dense rank (1-based) of each distinct message.
+
+    Messages are ranked ascending by
+    :meth:`~repro.network.messages.Message.sort_key`, so ``rank(a) >
+    rank(b)`` iff ``a.beats(b)`` -- the invariant that lets the engine
+    compare integer ranks instead of message objects.  Rank
+    :data:`NO_MESSAGE` (0) is reserved for "knows nothing".
+    """
+    distinct = sorted(set(messages), key=lambda message: message.sort_key())
+    return {message: index + 1 for index, message in enumerate(distinct)}

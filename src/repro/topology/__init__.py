@@ -35,7 +35,56 @@ from repro.topology.validation import (
     summarize_topology,
 )
 
+#: Topology families addressable by name.  This is the lookup table the
+#: scenario registry of :mod:`repro.experiments` builds graphs from, so a
+#: scenario can be persisted to JSON as ``{"family": ..., "args": {...}}``
+#: and rebuilt exactly.  Keys are stable identifiers; add new families
+#: here when introducing a generator that experiments should reach.
+FAMILIES = {
+    "path": path_graph,
+    "cycle": cycle_graph,
+    "star": star_graph,
+    "complete": complete_graph,
+    "grid": grid_graph,
+    "binary-tree": binary_tree_graph,
+    "caterpillar": caterpillar_graph,
+    "dumbbell": dumbbell_graph,
+    "lollipop": lollipop_graph,
+    "path-of-cliques": path_of_cliques_graph,
+    "gnp": connected_gnp_graph,
+    "geometric": random_geometric_graph,
+    "clustered": clustered_graph,
+    "random-tree": random_tree_graph,
+    "diameter-controlled": diameter_controlled_graph,
+}
+
+
+def make_topology(family, **kwargs):
+    """Build a graph from a family name and keyword arguments.
+
+    >>> make_topology("path", num_nodes=4).num_nodes
+    4
+
+    Raises
+    ------
+    repro.errors.ConfigurationError
+        If ``family`` is not a key of :data:`FAMILIES`.
+    """
+    from repro.errors import ConfigurationError
+
+    try:
+        generator = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise ConfigurationError(
+            f"unknown topology family {family!r}; known families: {known}"
+        ) from None
+    return generator(**kwargs)
+
+
 __all__ = [
+    "FAMILIES",
+    "make_topology",
     "path_graph",
     "cycle_graph",
     "star_graph",
