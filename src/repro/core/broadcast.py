@@ -11,14 +11,14 @@ run succeeds exactly when every node has adopted it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.network.messages import Message
 from repro.network.metrics import NetworkMetrics
 from repro.network.radio import CollisionModel
-from repro.core.compete import Compete, CompeteResult
+from repro.core.compete import Compete, CompeteResult, CompeteStrategy
 from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
 
 
@@ -71,6 +71,7 @@ def broadcast(
     parameters: Optional[CompeteParameters] = None,
     margin: float = DEFAULT_MARGIN,
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    strategy: Union[str, CompeteStrategy] = "skeleton",
     backend: str = "reference",
 ) -> BroadcastResult:
     """Broadcast a message from ``source`` to every node of ``graph``.
@@ -88,10 +89,11 @@ def broadcast(
         When True (the default, and the paper's model), uninformed nodes
         also transmit dummy messages from round 0; set False for the
         classical conservative model where only informed nodes speak.
-    parameters / margin / collision_model / backend:
-        Forwarded to :class:`~repro.core.compete.Compete`; ``backend``
-        selects the per-node reference runner or the round-exact
-        vectorized engine.
+    parameters / margin / collision_model / strategy / backend:
+        Forwarded to :class:`~repro.core.compete.Compete`; ``strategy``
+        selects the inner-loop schedule (``"skeleton"`` or
+        ``"clustered"``), ``backend`` the per-node reference runner or
+        the round-exact vectorized engine -- the axes are orthogonal.
 
     >>> from repro import topology
     >>> result = broadcast(topology.star_graph(8), source=0, seed=1)
@@ -105,6 +107,7 @@ def broadcast(
         parameters=parameters,
         margin=margin,
         collision_model=collision_model,
+        strategy=strategy,
         backend=backend,
     )
     message = Message(value=1, source=source)

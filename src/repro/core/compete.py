@@ -15,28 +15,45 @@ every real candidate.  Uninformed nodes therefore transmit before ever
 hearing from a source -- the behaviour that separates this model from the
 classical one where only informed nodes may speak.
 
-The simulated schedule runs ``⌈margin · (D + log2 n)⌉`` Decay rounds
-(:class:`~repro.core.parameters.CompeteParameters`); by Lemma 3.1 each
-round pushes the frontier of the eventual winner past any listener with
-constant probability, so the winner saturates the network with
-overwhelming probability.  This is the ``O((D + log n) · log n)``-round
-skeleton of the paper's algorithms; the clustering machinery that removes
-the multiplicative ``log n`` is future work (see ``DESIGN.md``).
+The inner loop is a pluggable **strategy** deciding how informed nodes
+schedule their transmissions, selected orthogonally to the execution
+backend:
 
-Two interchangeable backends execute the schedule: ``"reference"`` drives
-one :class:`CompeteProtocol` per node through the pure-Python
+* ``strategy="skeleton"`` (:class:`SkeletonStrategy`) runs the classical
+  uniform schedule of ``⌈margin · (D + log2 n)⌉`` Decay rounds
+  (:class:`~repro.core.parameters.CompeteParameters`); by Lemma 3.1 each
+  round pushes the winner's frontier past any listener with constant
+  probability, which is the ``O((D + log n) · log n)`` regime.
+* ``strategy="clustered"`` (:class:`ClusteredStrategy`) first decomposes
+  the graph into BFS-grown clusters
+  (:mod:`repro.core.clustering`) and runs the Lemma 2.3 cost-charged
+  schedule (:mod:`repro.schedules.cluster`): each node's Decay cycle is
+  priced by its cluster neighbourhood's contention bound instead of by
+  ``n``, removing the multiplicative ``log n`` wherever contention is
+  below the global worst case (paths, grids and other bounded-degree
+  topologies; on graphs whose certified contention approaches ``n`` --
+  stars, but also e.g. ``G(n, p)`` deployments with near-``log n``-length
+  cycles already -- the schedule correctly falls back to skeleton
+  length).
+
+Two interchangeable backends execute either strategy: ``"reference"``
+drives one :class:`CompeteProtocol` per node through the pure-Python
 :class:`~repro.simulation.runner.ProtocolRunner`, and ``"vectorized"``
 replays the identical dynamics through
 :class:`~repro.simulation.vectorized.VectorizedCompeteEngine` as dense
-array operations.  Both produce the same :class:`CompeteResult` round for
-round under a shared seed; :meth:`Compete.run_batch` additionally runs
-many seeded trials at once on the vectorized backend.
+array operations.  Both consume the same
+:class:`~repro.schedules.transmission.TransmissionSchedule` and produce
+the same :class:`CompeteResult` round for round under a shared seed, for
+every (strategy, backend) cell of the matrix;
+:meth:`Compete.run_batch` additionally runs many seeded trials at once on
+the vectorized backend.
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
-from typing import Any, Iterable, Mapping, Optional, Union
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -46,7 +63,16 @@ from repro.network.messages import Message, highest_message
 from repro.network.metrics import NetworkMetrics
 from repro.network.protocol import Action, NodeProtocol
 from repro.network.radio import CollisionModel, RadioNetwork
-from repro.schedules.decay import decay_transmit_step
+from repro.core.clustering import (
+    DEFAULT_CLUSTER_RADIUS,
+    ClusterDecomposition,
+    decompose,
+)
+from repro.schedules.cluster import cluster_schedule
+from repro.schedules.transmission import (
+    TransmissionSchedule,
+    uniform_decay_schedule,
+)
 from repro.simulation.runner import ProtocolRunner, spawn_node_rngs
 from repro.simulation.vectorized import (
     NO_MESSAGE,
@@ -63,6 +89,109 @@ CandidateSpec = Mapping[Any, Union[Message, int]]
 
 #: The execution backends of :meth:`Compete.run`.
 BACKENDS = ("reference", "vectorized")
+
+#: The built-in inner-loop strategies of :class:`Compete`.
+STRATEGIES = ("skeleton", "clustered")
+
+
+class CompeteStrategy(abc.ABC):
+    """How Compete's inner loop schedules transmissions.
+
+    A strategy compiles the static inputs of a run -- the graph and its
+    ``(n, D)``-derived :class:`~repro.core.parameters.CompeteParameters`
+    -- into a per-node
+    :class:`~repro.schedules.transmission.TransmissionSchedule`, which
+    both execution backends then consume identically.  Strategies are
+    stateless with respect to individual runs, so one instance can be
+    shared across Compete instances and seeds.
+
+    Custom strategies plug in by subclassing: pass an instance (instead
+    of a registered name) as ``Compete(strategy=...)``.
+    """
+
+    #: Short identifier recorded on results and benchmark artifacts.
+    name: str = "custom"
+
+    @abc.abstractmethod
+    def build_schedule(
+        self, graph: Graph, parameters: CompeteParameters
+    ) -> TransmissionSchedule:
+        """Compile the transmission schedule for one topology."""
+
+
+class SkeletonStrategy(CompeteStrategy):
+    """The classical uniform-Decay inner loop (Lemma 3.1 regime).
+
+    Every node cycles through the same ``⌈log2 n⌉``-step Decay
+    probabilities, globally aligned -- the ``O((D + log n) · log n)``
+    skeleton the paper starts from.
+    """
+
+    name = "skeleton"
+
+    def build_schedule(
+        self, graph: Graph, parameters: CompeteParameters
+    ) -> TransmissionSchedule:
+        return uniform_decay_schedule(
+            graph.nodes(), parameters.decay_steps, name=self.name
+        )
+
+
+class ClusteredStrategy(CompeteStrategy):
+    """The cluster-decomposed inner loop (Lemma 2.3 cost charging).
+
+    Decomposes the graph into BFS-grown clusters of hop radius
+    ``radius`` (:func:`~repro.core.clustering.decompose`) and gives each
+    node a Decay cycle priced by the contention bound of its own and
+    neighbouring clusters (:func:`~repro.schedules.cluster.cluster_schedule`)
+    -- amortising Decay steps across clusters instead of paying
+    ``⌈log2 n⌉`` everywhere.
+
+    Parameters
+    ----------
+    radius:
+        BFS growth radius of the decomposition (>= 0).  Contention
+        bounds -- and therefore the schedule -- depend on cluster
+        membership only through member degrees, so moderate radii trade
+        decomposition granularity against schedule coarseness.
+    """
+
+    name = "clustered"
+
+    def __init__(self, radius: int = DEFAULT_CLUSTER_RADIUS) -> None:
+        if radius < 0:
+            raise ConfigurationError(f"radius must be >= 0, got {radius}")
+        self._radius = radius
+
+    @property
+    def radius(self) -> int:
+        """The decomposition's BFS growth radius."""
+        return self._radius
+
+    def decompose(self, graph: Graph) -> ClusterDecomposition:
+        """The cluster decomposition this strategy derives for ``graph``."""
+        return decompose(graph, radius=self._radius)
+
+    def build_schedule(
+        self, graph: Graph, parameters: CompeteParameters
+    ) -> TransmissionSchedule:
+        return cluster_schedule(self.decompose(graph), name=self.name)
+
+
+def resolve_strategy(
+    strategy: Union[str, CompeteStrategy]
+) -> CompeteStrategy:
+    """Turn a strategy name or instance into a :class:`CompeteStrategy`."""
+    if isinstance(strategy, CompeteStrategy):
+        return strategy
+    if strategy == "skeleton":
+        return SkeletonStrategy()
+    if strategy == "clustered":
+        return ClusteredStrategy()
+    raise ConfigurationError(
+        f"strategy must be one of {STRATEGIES} or a CompeteStrategy "
+        f"instance, got {strategy!r}"
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,11 +216,14 @@ class CompeteNodeState:
 class CompeteProtocol(NodeProtocol):
     """Per-node program of Compete: relay the highest known message.
 
-    Each round the node either listens (if it knows nothing) or applies
-    the Decay step rule to decide whether to transmit its current best
-    message.  The Decay step index is derived from the *global* round
-    number, so all participants stay aligned within each Decay round --
-    the alignment Lemma 3.1's analysis assumes.
+    Each round the node either listens (if it knows nothing) or consults
+    its periodic transmission-probability cycle -- assigned by the
+    strategy's :class:`~repro.schedules.transmission.TransmissionSchedule`
+    -- to decide whether to transmit its current best message.  The cycle
+    position is derived from the *global* round number, so all
+    participants stay aligned within each Decay round -- the alignment
+    Lemma 3.1's analysis assumes (power-of-two cycle lengths preserve it
+    across the clustered strategy's heterogeneous cycles).
     """
 
     def __init__(
@@ -100,20 +232,25 @@ class CompeteProtocol(NodeProtocol):
         num_nodes: int,
         diameter: int,
         rng: np.random.Generator,
-        decay_steps: int,
+        probabilities: Sequence[float],
         initial: Optional[Message] = None,
     ) -> None:
         super().__init__(node_id, num_nodes, diameter)
+        if not probabilities:
+            raise ConfigurationError(
+                f"node {node_id!r} needs a non-empty probability cycle"
+            )
         self._rng = rng
-        self._decay_steps = decay_steps
+        self._probabilities = tuple(probabilities)
         self.best: Optional[Message] = initial
         self.adopted_round: Optional[int] = None if initial is None else -1
 
     def act(self, round_number: int) -> Action:
         if self.best is None:
             return Action.listen()
-        step_in_round = (round_number % self._decay_steps) + 1
-        if decay_transmit_step(step_in_round, self._rng):
+        cycle = self._probabilities
+        probability = cycle[round_number % len(cycle)]
+        if self._rng.random() < probability:
             return Action.transmit(self.best)
         return Action.listen()
 
@@ -154,6 +291,8 @@ class CompeteResult:
         Round/transmission accounting for this run.
     parameters:
         The schedule the run used.
+    strategy:
+        Name of the inner-loop strategy that scheduled transmissions.
     """
 
     success: bool
@@ -164,6 +303,7 @@ class CompeteResult:
     final_messages: Mapping[Any, Optional[Message]]
     metrics: NetworkMetrics
     parameters: CompeteParameters
+    strategy: str = "skeleton"
 
     @property
     def informed_fraction(self) -> float:
@@ -194,6 +334,11 @@ class Compete:
         given).
     collision_model:
         Collision semantics for the underlying network.
+    strategy:
+        The inner-loop transmission strategy: ``"skeleton"`` (default),
+        ``"clustered"``, or any :class:`CompeteStrategy` instance.
+        Orthogonal to ``backend`` -- every strategy runs on either
+        backend with identical results.
     backend:
         ``"reference"`` (default) drives per-node protocols through
         :class:`~repro.simulation.runner.ProtocolRunner`; ``"vectorized"``
@@ -209,6 +354,7 @@ class Compete:
         parameters: Optional[CompeteParameters] = None,
         margin: float = DEFAULT_MARGIN,
         collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+        strategy: Union[str, CompeteStrategy] = "skeleton",
         backend: str = "reference",
     ) -> None:
         validate_radio_topology(graph)
@@ -226,14 +372,25 @@ class Compete:
         self._graph = graph
         self._parameters = parameters
         self._collision_model = collision_model
+        self._strategy = resolve_strategy(strategy)
         self._backend = backend
-        self._engine: Optional[VectorizedCompeteEngine] = None
-        self._engine_adjacency: Optional[Mapping] = None
+        # The strategy's schedule and the vectorized engine both depend
+        # on the topology, so they are cached against an adjacency
+        # snapshot: mutating the graph between runs rebuilds them rather
+        # than silently simulating a stale topology.
+        self._cache_adjacency: Optional[Mapping] = None
+        self._cache_schedule: Optional[TransmissionSchedule] = None
+        self._cache_engine: Optional[VectorizedCompeteEngine] = None
 
     @property
     def parameters(self) -> CompeteParameters:
         """The schedule this instance runs."""
         return self._parameters
+
+    @property
+    def strategy(self) -> CompeteStrategy:
+        """The inner-loop strategy scheduling transmissions."""
+        return self._strategy
 
     @property
     def backend(self) -> str:
@@ -282,6 +439,7 @@ class Compete:
         winner = highest_message(*messages.values())
         graph = self._graph
         params = self._parameters
+        schedule = self._schedule()
         initial = self._initial_messages(messages, spontaneous)
 
         rngs = spawn_node_rngs(graph, seed)
@@ -291,7 +449,7 @@ class Compete:
                 graph.num_nodes,
                 params.diameter,
                 rngs[node],
-                params.decay_steps,
+                schedule.probabilities(node),
                 initial=initial[node],
             )
             for node in graph.nodes()
@@ -338,6 +496,7 @@ class Compete:
             final_messages=final_messages,
             metrics=metrics,
             parameters=params,
+            strategy=self._strategy.name,
         )
 
     def run_batch(
@@ -403,6 +562,7 @@ class Compete:
                     final_messages=final_messages,
                     metrics=outcome.metrics(trial),
                     parameters=params,
+                    strategy=self._strategy.name,
                 )
             )
         return results
@@ -423,23 +583,27 @@ class Compete:
                     initial[node] = Message(value=dummy_value, source=node)
         return initial
 
-    def _vectorized_engine(self) -> VectorizedCompeteEngine:
-        """The lazily built (graph-and-schedule-bound) vectorized engine.
-
-        The engine densifies the adjacency matrix, so the cache is keyed
-        on an adjacency snapshot: mutating the graph between runs rebuilds
-        the engine rather than silently simulating a stale topology (the
-        reference backend always reads the live graph).
-        """
+    def _schedule(self) -> TransmissionSchedule:
+        """The strategy's schedule for the graph's *current* topology."""
         adjacency = self._graph.adjacency()
-        if self._engine is None or adjacency != self._engine_adjacency:
-            self._engine = VectorizedCompeteEngine(
+        if self._cache_schedule is None or adjacency != self._cache_adjacency:
+            self._cache_schedule = self._strategy.build_schedule(
+                self._graph, self._parameters
+            )
+            self._cache_adjacency = adjacency
+            self._cache_engine = None
+        return self._cache_schedule
+
+    def _vectorized_engine(self) -> VectorizedCompeteEngine:
+        """The lazily built (graph-and-schedule-bound) vectorized engine."""
+        schedule = self._schedule()
+        if self._cache_engine is None:
+            self._cache_engine = VectorizedCompeteEngine(
                 self._graph,
-                decay_steps=self._parameters.decay_steps,
+                schedule=schedule,
                 max_rounds=self._parameters.total_rounds,
             )
-            self._engine_adjacency = adjacency
-        return self._engine
+        return self._cache_engine
 
     def _normalise_candidates(
         self, candidates: CandidateSpec
@@ -476,6 +640,7 @@ def compete(
     parameters: Optional[CompeteParameters] = None,
     margin: float = DEFAULT_MARGIN,
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    strategy: Union[str, CompeteStrategy] = "skeleton",
     backend: str = "reference",
 ) -> CompeteResult:
     """One-shot convenience wrapper around :class:`Compete`.
@@ -491,12 +656,20 @@ def compete(
     ...                backend="vectorized")
     >>> (fast.rounds, fast.winner) == (result.rounds, result.winner)
     True
+
+    ...and so do the strategies, each with its own schedule:
+
+    >>> clustered = compete(topology.star_graph(8), {1: 10, 2: 20}, seed=0,
+    ...                     strategy="clustered")
+    >>> clustered.success and clustered.strategy
+    'clustered'
     """
     primitive = Compete(
         graph,
         parameters=parameters,
         margin=margin,
         collision_model=collision_model,
+        strategy=strategy,
         backend=backend,
     )
     return primitive.run(candidates, seed=seed, spontaneous=spontaneous)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.network.graph import Graph
 from repro.network.messages import Message
 from repro.network.metrics import NetworkMetrics
 from repro.network.radio import CollisionModel
-from repro.core.compete import Compete, CompeteResult
+from repro.core.compete import Compete, CompeteResult, CompeteStrategy
 from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
 
 
@@ -83,6 +83,7 @@ def elect_leader(
     parameters: Optional[CompeteParameters] = None,
     margin: float = DEFAULT_MARGIN,
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
+    strategy: Union[str, CompeteStrategy] = "skeleton",
     backend: str = "reference",
 ) -> LeaderElectionResult:
     """Elect a unique leader known to every node of ``graph``.
@@ -102,9 +103,10 @@ def elect_leader(
         overall failure vanishingly unlikely.
     spontaneous:
         Forwarded to Compete (non-candidates transmitting dummies).
-    parameters / margin / collision_model / backend:
-        Forwarded to :class:`~repro.core.compete.Compete`; the backends
-        yield identical elections for the same master seed.
+    parameters / margin / collision_model / strategy / backend:
+        Forwarded to :class:`~repro.core.compete.Compete`; the
+        strategy/backend cells all yield identical elections for the
+        same master seed (per strategy).
 
     >>> from repro import topology
     >>> result = elect_leader(topology.complete_graph(16), seed=3)
@@ -131,6 +133,7 @@ def elect_leader(
         parameters=parameters,
         margin=margin,
         collision_model=collision_model,
+        strategy=strategy,
         backend=backend,
     )
     # The identifier space is polynomial in n, so identifiers collide only

@@ -35,6 +35,7 @@ def run_benchmark(
     *,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    seed_batches: Optional[int] = None,
     reference_trials: Optional[int] = None,
     include_reference: bool = True,
 ) -> dict[str, Any]:
@@ -45,13 +46,19 @@ def run_benchmark(
     scenario:
         What to run (see :class:`~repro.experiments.scenarios.Scenario`).
     trials:
-        Override the scenario's vectorized trial count.
+        Override the scenario's vectorized trial count (per seed batch).
     seed:
         Override the scenario's base seed; trial ``i`` uses ``seed + i``
         on both backends, which is what makes agreement checkable.
+    seed_batches:
+        Run this many consecutive seeded batches of ``trials`` trials
+        (default 1): batch ``b`` trial ``i`` uses seed
+        ``base + b * trials + i``, so the total sample is
+        ``trials * seed_batches`` distinct seeds.  The batch count is
+        recorded in the artifact's ``trials`` block.
     reference_trials:
         How many of the trials to repeat on the reference backend
-        (capped at ``trials``; default 2).
+        (capped at the total trial count; default 2).
     include_reference:
         Set False to skip the reference pass entirely -- faster, but the
         payload then carries no speedup and no agreement check.
@@ -62,13 +69,19 @@ def run_benchmark(
         If a reference trial disagrees with its vectorized counterpart
         (the equivalence guarantee is broken -- never ignore this).
     """
-    num_trials = trials if trials is not None else scenario.trials
-    if num_trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {num_trials}")
+    per_batch = trials if trials is not None else scenario.trials
+    if per_batch < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {per_batch}")
+    num_batches = seed_batches if seed_batches is not None else 1
+    if num_batches < 1:
+        raise ConfigurationError(
+            f"seed_batches must be >= 1, got {num_batches}"
+        )
     if reference_trials is not None and reference_trials < 0:
         raise ConfigurationError(
             f"reference_trials must be >= 0, got {reference_trials}"
         )
+    num_trials = per_batch * num_batches
     base_seed = seed if seed is not None else scenario.seed
     seeds = [base_seed + index for index in range(num_trials)]
 
@@ -122,6 +135,8 @@ def run_benchmark(
         },
         "trials": {
             "vectorized": num_trials,
+            "per_batch": per_batch,
+            "seed_batches": num_batches,
             "reference": num_reference,
             "base_seed": base_seed,
         },
@@ -164,6 +179,7 @@ def _run_trials(
             graph,
             parameters=parameters,
             collision_model=scenario.collision(),
+            strategy=scenario.strategy,
             backend=backend,
         )
         source = graph.nodes()[0]
@@ -187,6 +203,7 @@ def _run_trials(
             spontaneous=scenario.spontaneous,
             parameters=parameters,
             collision_model=scenario.collision(),
+            strategy=scenario.strategy,
             backend=backend,
         )
         for seed in seeds

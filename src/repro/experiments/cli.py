@@ -93,6 +93,11 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="override the scenario's base seed",
     )
     parser.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="run N consecutive seeded batches of the scenario's trial "
+             "count instead of one (recorded as trials.seed_batches)",
+    )
+    parser.add_argument(
         "--reference-trials", type=int, default=None,
         help="how many trials to repeat on the reference backend",
     )
@@ -149,6 +154,7 @@ def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
         scenario,
         trials=arguments.trials,
         seed=arguments.seed,
+        seed_batches=arguments.seeds,
         reference_trials=arguments.reference_trials,
         include_reference=not arguments.skip_reference,
     )

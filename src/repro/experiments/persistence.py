@@ -88,6 +88,10 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
     _field(scenario, "algorithm", str, path="scenario.algorithm")
     _field(scenario, "collision_model", str, path="scenario.collision_model")
     _field(scenario, "spontaneous", bool, path="scenario.spontaneous")
+    # Added in PR 3; optional so pre-existing repro-bench/1 artifacts
+    # (implicitly skeleton, single-batch) keep validating.
+    if "strategy" in scenario:
+        _field(scenario, "strategy", str, path="scenario.strategy")
     _field(scenario, "topology_args", Mapping, path="scenario.topology_args")
 
     topo = _field(payload, "topology", Mapping)
@@ -101,6 +105,25 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
 
     trials = _field(payload, "trials", Mapping)
     _int_field(trials, "vectorized", minimum=1, path="trials.vectorized")
+    # per_batch/seed_batches were added in PR 3 (the --seeds axis); both
+    # are optional for pre-existing artifacts but must be consistent --
+    # and present together -- when written.
+    _expect(
+        ("per_batch" in trials) == ("seed_batches" in trials),
+        "trials.seed_batches",
+        "per_batch and seed_batches must be present together",
+    )
+    if "seed_batches" in trials:
+        _int_field(trials, "per_batch", minimum=1, path="trials.per_batch")
+        _int_field(
+            trials, "seed_batches", minimum=1, path="trials.seed_batches"
+        )
+        _expect(
+            trials["per_batch"] * trials["seed_batches"]
+            == trials["vectorized"],
+            "trials.vectorized",
+            "must equal per_batch * seed_batches",
+        )
     _int_field(trials, "reference", minimum=0, path="trials.reference")
     _int_field(trials, "base_seed", path="trials.base_seed")
 

@@ -30,6 +30,7 @@ from typing import Any, Iterator, Mapping, Optional
 from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.network.radio import CollisionModel
+from repro.core.compete import STRATEGIES
 from repro.core.parameters import DEFAULT_MARGIN
 from repro import topology
 
@@ -68,6 +69,12 @@ class Scenario:
     spontaneous:
         Whether uninformed nodes transmit from round 0 (the paper's
         distinguishing assumption); the classical baseline sets False.
+    strategy:
+        The Compete inner-loop strategy, one of
+        :data:`repro.core.compete.STRATEGIES`: ``"skeleton"`` (the
+        uniform-Decay baseline) or ``"clustered"`` (the Lemma 2.3
+        cost-charged cluster schedule).  Scenario pairs differing only
+        here measure the strategy's round-count delta.
     trials:
         Default number of seeded trials per benchmark run.
     seed:
@@ -87,6 +94,7 @@ class Scenario:
     algorithm: str
     collision_model: str = CollisionModel.NO_DETECTION.value
     spontaneous: bool = True
+    strategy: str = "skeleton"
     trials: int = 8
     seed: int = 2017
     margin: float = DEFAULT_MARGIN
@@ -98,6 +106,10 @@ class Scenario:
         if self.algorithm not in ALGORITHMS:
             raise ConfigurationError(
                 f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
             )
         if self.family not in topology.FAMILIES:
             known = ", ".join(sorted(topology.FAMILIES))
@@ -136,6 +148,7 @@ class Scenario:
             "algorithm": self.algorithm,
             "collision_model": self.collision_model,
             "spontaneous": self.spontaneous,
+            "strategy": self.strategy,
             "trials": self.trials,
             "seed": self.seed,
             "margin": self.margin,
@@ -155,6 +168,7 @@ class Scenario:
                 "collision_model", CollisionModel.NO_DETECTION.value
             ),
             spontaneous=bool(data.get("spontaneous", True)),
+            strategy=str(data.get("strategy", "skeleton")),
             trials=int(data.get("trials", 8)),
             seed=int(data.get("seed", 2017)),
             margin=float(data.get("margin", DEFAULT_MARGIN)),
@@ -291,6 +305,52 @@ def _populate(registry: ScenarioRegistry) -> None:
     add("broadcast-randomtree-n256", "uniform random tree, n=256",
         "random-tree", {"num_nodes": 256, "seed": 256}, "broadcast",
         tags=("random",))
+    add("broadcast-geometric-n64",
+        "random geometric deployment on the unit square, n=64",
+        "geometric", {"num_nodes": 64, "seed": 64}, "broadcast",
+        tags=("smoke", "random"))
+    add("broadcast-geometric-n256",
+        "random geometric deployment on the unit square, n=256",
+        "geometric", {"num_nodes": 256, "seed": 256}, "broadcast",
+        tags=("random",))
+    add("broadcast-clustered-n96",
+        "12 dense random clusters of 8 in a chain, n=96",
+        "clustered",
+        {"num_clusters": 12, "cluster_size": 8, "seed": 96},
+        "broadcast", tags=("smoke", "random"))
+    add("broadcast-clustered-n256",
+        "32 dense random clusters of 8 in a chain, n=256",
+        "clustered",
+        {"num_clusters": 32, "cluster_size": 8, "seed": 256},
+        "broadcast", tags=("random",))
+
+    # --- skeleton-vs-clustered strategy comparisons ---------------------
+    # Twins of the skeleton scenarios above, differing only in
+    # ``strategy``; diffing the two artifacts isolates the round-count
+    # delta of the Lemma 2.3 cost-charged schedules.
+    add("broadcast-path-n256-clustered",
+        "path, n=256=D+1, clustered strategy (vs broadcast-path-n256)",
+        "path", {"num_nodes": 256}, "broadcast", strategy="clustered",
+        tags=("clustered",))
+    add("broadcast-grid-n256-clustered",
+        "16x16 grid, clustered strategy (vs broadcast-grid-n256)",
+        "grid", {"rows": 16, "cols": 16}, "broadcast",
+        strategy="clustered", tags=("clustered",))
+    add("broadcast-gnp-n256-clustered",
+        "connected G(256, 0.03), clustered strategy "
+        "(vs broadcast-gnp-n256)",
+        "gnp", {"num_nodes": 256, "edge_probability": 0.03, "seed": 256},
+        "broadcast", strategy="clustered", tags=("clustered", "random"))
+    add("broadcast-grid-n64-clustered",
+        "8x8 grid, clustered strategy (vs broadcast-grid-n64)",
+        "grid", {"rows": 8, "cols": 8}, "broadcast",
+        strategy="clustered", tags=("smoke", "clustered"))
+    add("election-grid-n256-clustered",
+        "16x16 grid election, clustered strategy "
+        "(vs election-grid-n256)",
+        "grid", {"rows": 16, "cols": 16}, "leader-election",
+        spontaneous=False, strategy="clustered", trials=4,
+        tags=("clustered",))
 
     # --- leader election -------------------------------------------------
     add("election-complete-n32", "complete graph, n=32", "complete",

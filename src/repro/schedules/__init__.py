@@ -4,10 +4,14 @@
   Goldreich and Itai (Algorithm 5 of the paper) and its single-round
   success guarantee (Lemma 3.1).  The step-level decision rule exported
   here is embedded by the :class:`~repro.core.compete.Compete` primitive.
-
-Future PRs will add the clustering-based schedules of the paper's
-polylog-optimised algorithms (the Lemma 2.3 cost-charged cluster
-schedule); see ``DESIGN.md`` for the reproduced-vs-planned breakdown.
+* :mod:`repro.schedules.transmission` -- per-node periodic transmission
+  schedules (:class:`TransmissionSchedule`), the contract both Compete
+  strategies compile to and both execution backends consume; includes
+  the uniform skeleton Decay cycle.
+* :mod:`repro.schedules.cluster` -- the Lemma 2.3 cost-charged cluster
+  schedule: per-node Decay cycles priced by cluster contention bounds
+  instead of by ``n`` (built over a
+  :class:`~repro.core.clustering.ClusterDecomposition`).
 """
 
 from repro.schedules.decay import (
@@ -18,6 +22,14 @@ from repro.schedules.decay import (
     simulate_decay_round,
     decay_success_probability_lower_bound,
 )
+from repro.schedules.transmission import (
+    MAX_CYCLE_LENGTH,
+    TransmissionSchedule,
+    decay_probabilities,
+    next_power_of_two,
+    uniform_decay_schedule,
+)
+from repro.schedules.cluster import charged_cycle_steps, cluster_schedule
 
 __all__ = [
     "DECAY_DEFAULT_CONSTANT",
@@ -26,4 +38,11 @@ __all__ = [
     "DecayTransmitter",
     "simulate_decay_round",
     "decay_success_probability_lower_bound",
+    "MAX_CYCLE_LENGTH",
+    "TransmissionSchedule",
+    "decay_probabilities",
+    "next_power_of_two",
+    "uniform_decay_schedule",
+    "charged_cycle_steps",
+    "cluster_schedule",
 ]

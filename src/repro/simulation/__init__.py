@@ -20,15 +20,20 @@
 Equivalence guarantee
 ---------------------
 The vectorized engine is a drop-in backend, not an approximation: for the
-same graph, candidate set and seed it reproduces the reference runner
-**round for round** -- identical transmission decisions, receptions,
-adoption rounds, stop round and
+same graph, candidate set, transmission schedule and seed it reproduces
+the reference runner **round for round** -- identical transmission
+decisions, receptions, adoption rounds, stop round and
 :class:`~repro.network.metrics.NetworkMetrics` counters.  It achieves
 this by replaying the reference's per-node random streams (one
 ``SeedSequence(seed).spawn(n)`` child per node, one uniform draw per
-informed round) in batched form.  The guarantee is pinned by the
-property-style tests in ``tests/test_vectorized.py`` and re-checked on
-every benchmark run that includes the reference backend.
+informed round) in batched form.  The guarantee holds for every Compete
+strategy: both backends consume the same per-node
+:class:`~repro.schedules.transmission.TransmissionSchedule` (the engine
+as a dense ``(cycle, n)`` probability matrix, the runner as per-round
+lookups), so the skeleton and clustered inner loops are equally covered.
+It is pinned by the property-style tests in ``tests/test_vectorized.py``
+and ``tests/test_clustering.py`` and re-checked on every benchmark run
+that includes the reference backend.
 """
 
 from repro.simulation.results import RunResult, StopReason

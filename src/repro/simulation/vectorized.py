@@ -15,7 +15,9 @@ the messages once up front therefore reduces every node's state to a
 single integer -- the *rank* of the best message it knows (0 = knows
 nothing) -- and one round becomes:
 
-* ``transmit = informed & (uniform_draw < 2^-step)``   (the Decay rule),
+* ``transmit = informed & (uniform_draw < p[round])``  (the per-node
+  transmission schedule; the classical uniform Decay rule
+  ``p = 2^-step`` is one instance),
 * ``counts   = transmit @ A``                          (transmitting
   neighbours per listener),
 * a listener with ``counts == 1`` receives the unique transmitter's
@@ -52,6 +54,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.network.metrics import NetworkMetrics
+from repro.schedules.transmission import decay_probabilities
 
 #: Rank value meaning "this node knows no message yet".
 NO_MESSAGE = 0
@@ -175,9 +178,17 @@ class VectorizedCompeteEngine:
         benchmark regime (hundreds to a few thousand nodes), not for
         graphs too large to hold an ``n x n`` matrix.
     decay_steps:
-        Steps per Decay round (``⌈log2 n⌉``); the transmission probability
-        in global round ``r`` is ``2^-((r mod decay_steps) + 1)``, exactly
-        the schedule of :class:`~repro.core.compete.CompeteProtocol`.
+        Steps per uniform Decay round (``⌈log2 n⌉``); every node's
+        transmission probability in global round ``r`` is
+        ``2^-((r mod decay_steps) + 1)``, exactly the skeleton schedule
+        of :class:`~repro.core.compete.CompeteProtocol`.  Mutually
+        exclusive with ``schedule``.
+    schedule:
+        A :class:`~repro.schedules.transmission.TransmissionSchedule`
+        assigning each node its own periodic probability cycle (the
+        clustered strategy's cost-charged schedules arrive this way).
+        The schedule must cover every node of the graph.  Mutually
+        exclusive with ``decay_steps``.
     max_rounds:
         Round budget per trial.
     draw_block:
@@ -188,11 +199,16 @@ class VectorizedCompeteEngine:
         self,
         graph: Graph,
         *,
-        decay_steps: int,
+        decay_steps: Optional[int] = None,
+        schedule=None,
         max_rounds: int,
         draw_block: int = DEFAULT_DRAW_BLOCK,
     ) -> None:
-        if decay_steps < 1:
+        if (decay_steps is None) == (schedule is None):
+            raise ConfigurationError(
+                "exactly one of decay_steps and schedule must be given"
+            )
+        if decay_steps is not None and decay_steps < 1:
             raise ConfigurationError(f"decay_steps must be >= 1, got {decay_steps}")
         if max_rounds < 0:
             raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
@@ -203,7 +219,16 @@ class VectorizedCompeteEngine:
         dtype = np.float32 if len(nodes) ** 2 < 2**24 else np.float64
         self._adjacency = matrix.astype(dtype)
         self._nodes = tuple(nodes)
-        self._decay_steps = decay_steps
+        if schedule is not None:
+            # One row of per-node probabilities per round of the cycle;
+            # the run loop indexes row ``round % cycle_length``.
+            self._probabilities = schedule.probability_matrix(nodes)
+        else:
+            assert decay_steps is not None
+            self._probabilities = np.tile(
+                np.array(decay_probabilities(decay_steps))[:, None],
+                (1, len(nodes)),
+            )
         self._max_rounds = max_rounds
         self._draw_block = draw_block
 
@@ -284,13 +309,13 @@ class VectorizedCompeteEngine:
         adjacency = self._adjacency
         streams = DrawStreams(seeds, len(self._nodes), self._draw_block)
 
+        cycle_length = self._probabilities.shape[0]
         for round_number in range(self._max_rounds):
-            step = (round_number % self._decay_steps) + 1
-            probability = 2.0 ** (-step)
+            probability = self._probabilities[round_number % cycle_length]
 
             informed = (ranks > NO_MESSAGE) & active[:, None]
             draws = streams.take(informed.ravel()).reshape(informed.shape)
-            transmit = informed & (draws < probability)
+            transmit = informed & (draws < probability[None, :])
 
             transmit_f = transmit.astype(adjacency.dtype)
             neighbour_counts = transmit_f @ adjacency

@@ -74,6 +74,38 @@ def test_scenario_validation():
         Scenario(name="x", description="", family="gnp",
                  topology_args={"num_nodes": 16, "edge_probability": 0.2},
                  algorithm="broadcast")
+    # The strategy must be a registered Compete strategy name.
+    with pytest.raises(ConfigurationError, match="strategy"):
+        Scenario(name="x", description="", family="path",
+                 topology_args={"num_nodes": 8}, algorithm="broadcast",
+                 strategy="quantum")
+
+
+def test_strategy_round_trips_and_comparison_pairs_exist():
+    clustered = Scenario(
+        name="x-clustered", description="", family="path",
+        topology_args={"num_nodes": 8}, algorithm="broadcast",
+        strategy="clustered",
+    )
+    rebuilt = Scenario.from_dict(clustered.to_dict())
+    assert rebuilt.strategy == "clustered"
+    # Dicts without a strategy key (pre-strategy artifacts) default to
+    # the skeleton.
+    legacy = clustered.to_dict()
+    del legacy["strategy"]
+    assert Scenario.from_dict(legacy).strategy == "skeleton"
+    # The built-in sweep carries skeleton-vs-clustered twins.
+    for name in ("broadcast-path-n256", "broadcast-grid-n256",
+                 "broadcast-gnp-n256"):
+        assert get_scenario(name).strategy == "skeleton"
+        assert get_scenario(f"{name}-clustered").strategy == "clustered"
+    smoke_clustered = [
+        s for s in iter_scenarios(tag="smoke") if s.strategy == "clustered"
+    ]
+    assert smoke_clustered, "CI smoke sweep must cover the clustered strategy"
+    # The registered-but-previously-unswept random families are swept.
+    swept_families = {s.family for s in DEFAULT_REGISTRY}
+    assert {"geometric", "clustered"} <= swept_families
 
 
 def test_scenario_round_trips_through_dict():
@@ -100,7 +132,11 @@ def test_run_benchmark_emits_schema_valid_payload(tmp_path):
     payload = run_benchmark(TINY, reference_trials=2)
     validate_bench(payload)  # must not raise
     assert payload["schema"] == SCHEMA_VERSION
-    assert payload["trials"] == {"vectorized": 3, "reference": 2, "base_seed": 5}
+    assert payload["trials"] == {
+        "vectorized": 3, "per_batch": 3, "seed_batches": 1,
+        "reference": 2, "base_seed": 5,
+    }
+    assert payload["scenario"]["strategy"] == "skeleton"
     assert payload["topology"]["num_nodes"] == 8
     assert payload["agreement"]["round_exact"] is True
     assert payload["timing"]["speedup"] is not None
@@ -137,6 +173,41 @@ def test_vectorized_backend_is_faster_at_scale():
     assert payload["timing"]["speedup"] > 2.0
 
 
+def test_run_benchmark_seed_batches():
+    payload = run_benchmark(TINY, seed_batches=3, include_reference=False)
+    validate_bench(payload)
+    assert payload["trials"]["vectorized"] == 9  # 3 trials x 3 batches
+    assert payload["trials"]["per_batch"] == 3
+    assert payload["trials"]["seed_batches"] == 3
+    # The batches are consecutive seeds: the first batch alone must
+    # reproduce the single-batch run exactly.
+    single = run_benchmark(TINY, include_reference=False)
+    assert single["results"]["rounds"]["min"] >= payload["results"]["rounds"]["min"]
+    assert single["results"]["rounds"]["max"] <= payload["results"]["rounds"]["max"]
+    with pytest.raises(ConfigurationError, match="seed_batches"):
+        run_benchmark(TINY, seed_batches=0)
+
+
+def test_run_benchmark_clustered_strategy_agrees_with_reference():
+    scenario = Scenario(
+        name="tiny-clustered",
+        description="clustered strategy on a small grid",
+        family="grid",
+        topology_args={"rows": 4, "cols": 4},
+        algorithm="broadcast",
+        strategy="clustered",
+        trials=3,
+        seed=11,
+    )
+    # The reference pass re-verifies round-exact agreement on clustered
+    # runs; a disagreement would raise SimulationError here.
+    payload = run_benchmark(scenario, reference_trials=2)
+    validate_bench(payload)
+    assert payload["scenario"]["strategy"] == "clustered"
+    assert payload["agreement"]["round_exact"] is True
+    assert payload["results"]["success_rate"] == 1.0
+
+
 def test_run_benchmark_without_reference():
     payload = run_benchmark(TINY, include_reference=False)
     validate_bench(payload)
@@ -164,6 +235,16 @@ def test_validate_bench_rejects_corrupted_payloads():
     corrupt(lambda p: p["agreement"].update(checked_trials=99))
     corrupt(lambda p: p["agreement"].update(round_exact=True))  # unchecked
     corrupt(lambda p: p["environment"].pop("numpy"))
+    corrupt(lambda p: p["scenario"].update(strategy=7))  # not a string
+    corrupt(lambda p: p["trials"].pop("seed_batches"))  # per_batch orphaned
+    corrupt(lambda p: p["trials"].update(seed_batches=2))  # 2*3 != 3
+
+    # Pre-PR-3 artifacts (no strategy, no batch fields) still validate.
+    legacy = copy.deepcopy(payload)
+    legacy["scenario"].pop("strategy")
+    legacy["trials"].pop("per_batch")
+    legacy["trials"].pop("seed_batches")
+    validate_bench(legacy)
 
 
 def test_run_benchmark_rejects_bad_trial_overrides():
@@ -204,6 +285,18 @@ def test_cli_run_and_validate(tmp_path, capsys):
     capsys.readouterr()
     assert main(["validate", str(artifact)]) == 0
     assert "valid" in capsys.readouterr().out
+
+
+def test_cli_seeds_flag(tmp_path, capsys):
+    out_dir = str(tmp_path / "bench")
+    assert main([
+        "run", "broadcast-path-n32",
+        "--trials", "2", "--seeds", "2", "--skip-reference", "--out", out_dir,
+    ]) == 0
+    artifact = tmp_path / "bench" / "BENCH_broadcast-path-n32.json"
+    payload = json.loads(artifact.read_text())
+    assert payload["trials"]["vectorized"] == 4
+    assert payload["trials"]["seed_batches"] == 2
 
 
 def test_cli_sweep_with_limit(tmp_path, capsys):
