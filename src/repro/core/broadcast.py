@@ -73,6 +73,7 @@ def broadcast(
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
     strategy: Union[str, CompeteStrategy] = "skeleton",
     backend: str = "reference",
+    engine: str = "auto",
 ) -> BroadcastResult:
     """Broadcast a message from ``source`` to every node of ``graph``.
 
@@ -89,11 +90,13 @@ def broadcast(
         When True (the default, and the paper's model), uninformed nodes
         also transmit dummy messages from round 0; set False for the
         classical conservative model where only informed nodes speak.
-    parameters / margin / collision_model / strategy / backend:
+    parameters / margin / collision_model / strategy / backend / engine:
         Forwarded to :class:`~repro.core.compete.Compete`; ``strategy``
         selects the inner-loop schedule (``"skeleton"`` or
         ``"clustered"``), ``backend`` the per-node reference runner or
-        the round-exact vectorized engine -- the axes are orthogonal.
+        the round-exact vectorized engine, and ``engine`` the vectorized
+        backend's kernel (``"auto"``/``"dense"``/``"sparse"``) -- all
+        three axes are orthogonal.
 
     >>> from repro import topology
     >>> result = broadcast(topology.star_graph(8), source=0, seed=1)
@@ -109,6 +112,7 @@ def broadcast(
         collision_model=collision_model,
         strategy=strategy,
         backend=backend,
+        engine=engine,
     )
     message = Message(value=1, source=source)
     compete_result = primitive.run(

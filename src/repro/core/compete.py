@@ -46,7 +46,12 @@ array operations.  Both consume the same
 the same :class:`CompeteResult` round for round under a shared seed, for
 every (strategy, backend) cell of the matrix;
 :meth:`Compete.run_batch` additionally runs many seeded trials at once on
-the vectorized backend.
+the vectorized backend.  The vectorized backend itself has two
+bit-for-bit equivalent kernel **engines** -- the dense adjacency-matrix
+path and the sparse CSR path, which ``engine="auto"`` selects above
+~10^3 nodes on sparse topologies and which opens the ``n >= 10^4``
+scenarios -- a third orthogonal axis, selected by
+``engine="auto"|"dense"|"sparse"`` (see :mod:`repro.simulation.sparse`).
 """
 
 from __future__ import annotations
@@ -75,6 +80,7 @@ from repro.schedules.transmission import (
 )
 from repro.simulation.runner import ProtocolRunner, spawn_node_rngs
 from repro.simulation.vectorized import (
+    ENGINES,
     NO_MESSAGE,
     VectorizedCompeteEngine,
     rank_messages,
@@ -345,6 +351,14 @@ class Compete:
         runs the round-exact equivalent array simulation
         (:class:`~repro.simulation.vectorized.VectorizedCompeteEngine`).
         Either way the same seed yields the same :class:`CompeteResult`.
+    engine:
+        Kernel selector for the vectorized backend: ``"auto"`` (the
+        default; picks by the edge-density heuristic of
+        :func:`repro.simulation.sparse.select_engine`), ``"dense"`` (the
+        adjacency-matrix matmul path) or ``"sparse"`` (the CSR
+        segment-sum path that scales to ``n >= 10^4``).  The kernels are
+        bit-for-bit equivalent, so this axis -- like ``backend`` -- is
+        invisible in the results.  Ignored by the reference backend.
     """
 
     def __init__(
@@ -356,6 +370,7 @@ class Compete:
         collision_model: CollisionModel = CollisionModel.NO_DETECTION,
         strategy: Union[str, CompeteStrategy] = "skeleton",
         backend: str = "reference",
+        engine: str = "auto",
     ) -> None:
         validate_radio_topology(graph)
         if parameters is None:
@@ -369,11 +384,16 @@ class Compete:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
             )
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         self._graph = graph
         self._parameters = parameters
         self._collision_model = collision_model
         self._strategy = resolve_strategy(strategy)
         self._backend = backend
+        self._engine = engine
         # The strategy's schedule and the vectorized engine both depend
         # on the topology, so they are cached against an adjacency
         # snapshot: mutating the graph between runs rebuilds them rather
@@ -396,6 +416,24 @@ class Compete:
     def backend(self) -> str:
         """The default execution backend of :meth:`run`."""
         return self._backend
+
+    @property
+    def engine(self) -> str:
+        """The requested vectorized kernel (possibly ``"auto"``)."""
+        return self._engine
+
+    def selected_engine(self) -> str:
+        """The kernel the vectorized backend resolves to for this graph.
+
+        Resolves ``"auto"`` through the density heuristic without
+        building the engine (construction densifies the matrix, which is
+        exactly what the heuristic may be avoiding).
+        """
+        from repro.simulation.sparse import resolve_engine
+
+        return resolve_engine(
+            self._engine, self._graph.num_nodes, self._graph.num_edges
+        )
 
     def run(
         self,
@@ -602,6 +640,7 @@ class Compete:
                 self._graph,
                 schedule=schedule,
                 max_rounds=self._parameters.total_rounds,
+                engine=self._engine,
             )
         return self._cache_engine
 
@@ -642,6 +681,7 @@ def compete(
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
     strategy: Union[str, CompeteStrategy] = "skeleton",
     backend: str = "reference",
+    engine: str = "auto",
 ) -> CompeteResult:
     """One-shot convenience wrapper around :class:`Compete`.
 
@@ -671,5 +711,6 @@ def compete(
         collision_model=collision_model,
         strategy=strategy,
         backend=backend,
+        engine=engine,
     )
     return primitive.run(candidates, seed=seed, spontaneous=spontaneous)

@@ -85,6 +85,7 @@ def elect_leader(
     collision_model: CollisionModel = CollisionModel.NO_DETECTION,
     strategy: Union[str, CompeteStrategy] = "skeleton",
     backend: str = "reference",
+    engine: str = "auto",
 ) -> LeaderElectionResult:
     """Elect a unique leader known to every node of ``graph``.
 
@@ -103,10 +104,10 @@ def elect_leader(
         overall failure vanishingly unlikely.
     spontaneous:
         Forwarded to Compete (non-candidates transmitting dummies).
-    parameters / margin / collision_model / strategy / backend:
+    parameters / margin / collision_model / strategy / backend / engine:
         Forwarded to :class:`~repro.core.compete.Compete`; the
-        strategy/backend cells all yield identical elections for the
-        same master seed (per strategy).
+        strategy/backend/engine cells all yield identical elections for
+        the same master seed (per strategy).
 
     >>> from repro import topology
     >>> result = elect_leader(topology.complete_graph(16), seed=3)
@@ -135,6 +136,7 @@ def elect_leader(
         collision_model=collision_model,
         strategy=strategy,
         backend=backend,
+        engine=engine,
     )
     # The identifier space is polynomial in n, so identifiers collide only
     # with polynomially small probability; Message's source tie-break keeps

@@ -25,6 +25,8 @@ from repro.core.leader_election import LeaderElectionResult, elect_leader
 from repro.core.parameters import CompeteParameters
 from repro.experiments.persistence import SCHEMA_VERSION
 from repro.experiments.scenarios import Scenario
+from repro.simulation.sparse import resolve_engine
+from repro.simulation.vectorized import ENGINES
 
 #: Reference trials re-run for timing/agreement unless overridden.
 DEFAULT_REFERENCE_TRIALS = 2
@@ -38,6 +40,7 @@ def run_benchmark(
     seed_batches: Optional[int] = None,
     reference_trials: Optional[int] = None,
     include_reference: bool = True,
+    engine: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run ``scenario`` and return its schema-valid benchmark payload.
 
@@ -62,6 +65,10 @@ def run_benchmark(
     include_reference:
         Set False to skip the reference pass entirely -- faster, but the
         payload then carries no speedup and no agreement check.
+    engine:
+        Override the scenario's vectorized kernel selector
+        (``"auto"``/``"dense"``/``"sparse"``).  The payload's ``engine``
+        block records both the request and the kernel that actually ran.
 
     Raises
     ------
@@ -85,14 +92,27 @@ def run_benchmark(
     base_seed = seed if seed is not None else scenario.seed
     seeds = [base_seed + index for index in range(num_trials)]
 
+    requested_engine = engine if engine is not None else scenario.engine
+    if requested_engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {requested_engine!r}"
+        )
+
     graph = scenario.build_graph()
     summary = summarize_topology(graph)
     parameters = CompeteParameters.from_graph(
         graph, diameter=summary.diameter, margin=scenario.margin
     )
+    # Resolve "auto" through the same resolver the engines themselves
+    # use, so the artifact records exactly the kernel that will run.
+    selected_engine = resolve_engine(
+        requested_engine, summary.num_nodes, summary.num_edges
+    )
 
     started = time.perf_counter()
-    vectorized = _run_trials(scenario, graph, parameters, seeds, "vectorized")
+    vectorized = _run_trials(
+        scenario, graph, parameters, seeds, "vectorized", requested_engine
+    )
     vectorized_seconds = time.perf_counter() - started
 
     num_reference = 0
@@ -107,7 +127,8 @@ def run_benchmark(
     if num_reference:
         started = time.perf_counter()
         reference = _run_trials(
-            scenario, graph, parameters, seeds[:num_reference], "reference"
+            scenario, graph, parameters, seeds[:num_reference], "reference",
+            requested_engine,
         )
         reference_seconds = time.perf_counter() - started
         _check_agreement(scenario, vectorized[:num_reference], reference)
@@ -139,6 +160,10 @@ def run_benchmark(
             "seed_batches": num_batches,
             "reference": num_reference,
             "base_seed": base_seed,
+        },
+        "engine": {
+            "requested": requested_engine,
+            "selected": selected_engine,
         },
         "results": stats,
         "timing": {
@@ -172,6 +197,7 @@ def _run_trials(
     parameters: CompeteParameters,
     seeds: Sequence[int],
     backend: str,
+    engine: str,
 ) -> list:
     """Run every seed on one backend, batched where the backend allows."""
     if scenario.algorithm == "broadcast":
@@ -181,6 +207,7 @@ def _run_trials(
             collision_model=scenario.collision(),
             strategy=scenario.strategy,
             backend=backend,
+            engine=engine,
         )
         source = graph.nodes()[0]
         candidates = {source: Message(value=1, source=source)}
@@ -205,6 +232,7 @@ def _run_trials(
             collision_model=scenario.collision(),
             strategy=scenario.strategy,
             backend=backend,
+            engine=engine,
         )
         for seed in seeds
     ]

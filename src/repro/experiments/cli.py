@@ -98,6 +98,11 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
              "count instead of one (recorded as trials.seed_batches)",
     )
     parser.add_argument(
+        "--engine", choices=("auto", "dense", "sparse"), default=None,
+        help="override the scenario's vectorized kernel (auto picks by "
+             "edge density; sparse opens n >= 10^4 topologies)",
+    )
+    parser.add_argument(
         "--reference-trials", type=int, default=None,
         help="how many trials to repeat on the reference backend",
     )
@@ -157,6 +162,7 @@ def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
         seed_batches=arguments.seeds,
         reference_trials=arguments.reference_trials,
         include_reference=not arguments.skip_reference,
+        engine=arguments.engine,
     )
     path = write_bench(payload, arguments.out)
     timing = payload["timing"]
@@ -170,7 +176,7 @@ def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
         f"{scenario.name}: success_rate={results['success_rate']:.2f} "
         f"rounds(mean)={results['rounds']['mean']:.0f} "
         f"{timing['vectorized_seconds_per_trial'] * 1000:.1f} ms/trial "
-        f"({speedup}) -> {path}"
+        f"({speedup}, {payload['engine']['selected']} engine) -> {path}"
     )
 
 

@@ -18,6 +18,8 @@ import re
 from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.simulation.sparse import ENGINE_KINDS
+from repro.simulation.vectorized import ENGINES
 
 #: Identifies the layout of a ``BENCH_*.json`` document.  Bump only with
 #: a migration note in ``docs/EXPERIMENTS.md``.
@@ -92,6 +94,14 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
     # (implicitly skeleton, single-batch) keep validating.
     if "strategy" in scenario:
         _field(scenario, "strategy", str, path="scenario.strategy")
+    # Added in PR 4 alongside the top-level engine block.
+    if "engine" in scenario:
+        _field(scenario, "engine", str, path="scenario.engine")
+        _expect(
+            scenario["engine"] in ENGINES,
+            "scenario.engine",
+            f"must be one of {ENGINES}, got {scenario['engine']!r}",
+        )
     _field(scenario, "topology_args", Mapping, path="scenario.topology_args")
 
     topo = _field(payload, "topology", Mapping)
@@ -126,6 +136,30 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
         )
     _int_field(trials, "reference", minimum=0, path="trials.reference")
     _int_field(trials, "base_seed", path="trials.base_seed")
+
+    # The engine block was added in PR 4 (the sparse CSR code path);
+    # optional so pre-existing repro-bench/1 artifacts -- which all ran
+    # the dense engine, the only one that existed -- keep validating.
+    if "engine" in payload:
+        engine = _field(payload, "engine", Mapping)
+        _field(engine, "requested", str, path="engine.requested")
+        _expect(
+            engine["requested"] in ENGINES,
+            "engine.requested",
+            f"must be one of {ENGINES}, got {engine['requested']!r}",
+        )
+        _field(engine, "selected", str, path="engine.selected")
+        _expect(
+            engine["selected"] in ENGINE_KINDS,
+            "engine.selected",
+            f"must be one of {ENGINE_KINDS} (never 'auto'), got "
+            f"{engine['selected']!r}",
+        )
+        _expect(
+            engine["requested"] in ("auto", engine["selected"]),
+            "engine.selected",
+            "must equal the requested engine unless 'auto' was requested",
+        )
 
     results = _field(payload, "results", Mapping)
     rate = _field(results, "success_rate", (int, float), path="results.success_rate")

@@ -32,6 +32,7 @@ from repro.network.graph import Graph
 from repro.network.radio import CollisionModel
 from repro.core.compete import STRATEGIES
 from repro.core.parameters import DEFAULT_MARGIN
+from repro.simulation.vectorized import ENGINES
 from repro import topology
 
 #: Algorithms a scenario may benchmark.
@@ -75,6 +76,13 @@ class Scenario:
         uniform-Decay baseline) or ``"clustered"`` (the Lemma 2.3
         cost-charged cluster schedule).  Scenario pairs differing only
         here measure the strategy's round-count delta.
+    engine:
+        Vectorized kernel selector, one of
+        :data:`repro.simulation.vectorized.ENGINES`: ``"auto"`` (the
+        default; the edge-density heuristic picks dense below ~10³ nodes
+        and sparse CSR above), ``"dense"`` or ``"sparse"``.  The kernels
+        are bit-for-bit equivalent, so this only affects time and
+        memory; the benchmark payload records which one actually ran.
     trials:
         Default number of seeded trials per benchmark run.
     seed:
@@ -95,6 +103,7 @@ class Scenario:
     collision_model: str = CollisionModel.NO_DETECTION.value
     spontaneous: bool = True
     strategy: str = "skeleton"
+    engine: str = "auto"
     trials: int = 8
     seed: int = 2017
     margin: float = DEFAULT_MARGIN
@@ -110,6 +119,10 @@ class Scenario:
         if self.strategy not in STRATEGIES:
             raise ConfigurationError(
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
         if self.family not in topology.FAMILIES:
             known = ", ".join(sorted(topology.FAMILIES))
@@ -149,6 +162,7 @@ class Scenario:
             "collision_model": self.collision_model,
             "spontaneous": self.spontaneous,
             "strategy": self.strategy,
+            "engine": self.engine,
             "trials": self.trials,
             "seed": self.seed,
             "margin": self.margin,
@@ -169,6 +183,7 @@ class Scenario:
             ),
             spontaneous=bool(data.get("spontaneous", True)),
             strategy=str(data.get("strategy", "skeleton")),
+            engine=str(data.get("engine", "auto")),
             trials=int(data.get("trials", 8)),
             seed=int(data.get("seed", 2017)),
             margin=float(data.get("margin", DEFAULT_MARGIN)),
@@ -351,6 +366,41 @@ def _populate(registry: ScenarioRegistry) -> None:
         "grid", {"rows": 16, "cols": 16}, "leader-election",
         spontaneous=False, strategy="clustered", trials=4,
         tags=("clustered",))
+
+    # --- sparse-engine regime: n >= 4096 --------------------------------
+    # Above the dense cutoff the auto heuristic selects the CSR engine;
+    # these are the scenarios where the polylog term stops dominating the
+    # O(D + log^6 n) claims.  The n=16384 variants ("xlarge") are too big
+    # for the dense engine (a 16384^2 float32 matrix alone is 1 GiB) and
+    # far too big for the reference runner, so they are run with
+    # --skip-reference and lean on the equivalence harness for
+    # correctness.  Path variants use the clustered strategy: at
+    # n = D + 1 the skeleton's ceil(log2 n)-step cycles would more than
+    # double an already six-figure round count.
+    add("broadcast-path-n4096", "path, n=4096=D+1, clustered schedule",
+        "path", {"num_nodes": 4096}, "broadcast", strategy="clustered",
+        trials=2, tags=("sparse",))
+    add("broadcast-grid-n4096", "64x64 grid, n=4096", "grid",
+        {"rows": 64, "cols": 64}, "broadcast", trials=4, tags=("sparse",))
+    add("broadcast-tree-n4095", "complete binary tree, depth 11, n=4095",
+        "binary-tree", {"depth": 11}, "broadcast", trials=4,
+        tags=("sparse",))
+    add("broadcast-gnp-n4096", "connected G(4096, 0.003)", "gnp",
+        {"num_nodes": 4096, "edge_probability": 0.003, "seed": 4096},
+        "broadcast", trials=4, tags=("sparse", "random"))
+    add("broadcast-path-n16384",
+        "path, n=16384=D+1, clustered schedule (dense engine cannot run "
+        "this)", "path", {"num_nodes": 16384}, "broadcast",
+        strategy="clustered", trials=2, tags=("sparse", "xlarge"))
+    add("broadcast-grid-n16384", "128x128 grid, n=16384", "grid",
+        {"rows": 128, "cols": 128}, "broadcast", trials=2,
+        tags=("sparse", "xlarge"))
+    add("broadcast-tree-n16383", "complete binary tree, depth 13, n=16383",
+        "binary-tree", {"depth": 13}, "broadcast", trials=2,
+        tags=("sparse", "xlarge"))
+    add("broadcast-gnp-n16384", "connected G(16384, 0.001)", "gnp",
+        {"num_nodes": 16384, "edge_probability": 0.001, "seed": 16384},
+        "broadcast", trials=2, tags=("sparse", "xlarge", "random"))
 
     # --- leader election -------------------------------------------------
     add("election-complete-n32", "complete graph, n=32", "complete",

@@ -428,6 +428,19 @@ class Graph:
         path_mid = self.shortest_path(start, far)
         return path_mid[len(path_mid) // 2]
 
+    def _resolve_order(self, order: Optional[list]) -> tuple[list, dict]:
+        """Resolve an explicit node order (or the insertion order) plus
+        its node -> position map, validating permutations."""
+        if order is None:
+            nodes = self.nodes()
+        else:
+            nodes = list(order)
+            if set(nodes) != set(self._adjacency) or len(nodes) != self.num_nodes:
+                raise GraphError(
+                    "order must be a permutation of the graph's node set"
+                )
+        return nodes, {node: i for i, node in enumerate(nodes)}
+
     def adjacency_matrix(self, order: Optional[list] = None):
         """Return the dense boolean adjacency matrix and its node order.
 
@@ -443,21 +456,47 @@ class Graph:
         """
         import numpy as np
 
-        if order is None:
-            nodes = self.nodes()
-        else:
-            nodes = list(order)
-            if set(nodes) != set(self._adjacency) or len(nodes) != self.num_nodes:
-                raise GraphError(
-                    "order must be a permutation of the graph's node set"
-                )
-        index = {node: i for i, node in enumerate(nodes)}
+        nodes, index = self._resolve_order(order)
         matrix = np.zeros((len(nodes), len(nodes)), dtype=bool)
         for node, neighbours in self._adjacency.items():
             i = index[node]
             for neighbour in neighbours:
                 matrix[i, index[neighbour]] = True
         return matrix, nodes
+
+    def adjacency_csr(self, order: Optional[list] = None):
+        """Return the adjacency structure in CSR form and its node order.
+
+        Returns ``(indptr, indices, nodes)``: ``nodes`` is the insertion
+        order (or the explicit ``order`` argument, which must be a
+        permutation of the node set), and the neighbours of ``nodes[i]``
+        are ``nodes[j]`` for each ``j`` in
+        ``indices[indptr[i]:indptr[i + 1]]``, sorted ascending.  Both
+        arrays are ``int64``; ``indptr`` has length ``n + 1`` and
+        ``indices`` one entry per *directed* edge (``2m`` total), so the
+        memory footprint is ``O(n + m)`` instead of the dense matrix's
+        ``O(n²)`` -- this is the substrate of the sparse code path of
+        :mod:`repro.simulation.vectorized` (see
+        :class:`repro.simulation.sparse.CSRAdjacency`).
+
+        ``numpy`` is imported lazily so the graph module itself stays
+        dependency-free.
+        """
+        import numpy as np
+
+        nodes, index = self._resolve_order(order)
+        rows = [
+            sorted(index[neighbour] for neighbour in self._adjacency[node])
+            for node in nodes
+        ]
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(row) for row in rows], dtype=np.int64)
+        indices = np.fromiter(
+            (column for row in rows for column in row),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return indptr, indices, nodes
 
     # ------------------------------------------------------------------
     # Misc

@@ -10,10 +10,14 @@
   the model; every semantic question is settled here.
 * :mod:`repro.simulation.vectorized` -- the *vectorized* backend:
   :class:`VectorizedCompeteEngine` computes whole rounds of the Compete
-  dynamics (and whole batches of seeded trials) as dense NumPy operations
-  on the adjacency matrix.  It exists for the benchmark sweeps in
-  :mod:`repro.experiments`, where it is typically one to two orders of
-  magnitude faster per trial.
+  dynamics (and whole batches of seeded trials) as NumPy operations.
+  It exists for the benchmark sweeps in :mod:`repro.experiments`, where
+  it is typically one to two orders of magnitude faster per trial, and
+  runs one of two bit-for-bit equivalent kernels: the *dense*
+  adjacency-matrix path or the *sparse* CSR path of
+  :mod:`repro.simulation.sparse`, which drops per-round work and memory
+  from ``O(n²)`` to ``O(n + m)`` and opens the ``n >= 10^4`` scenarios
+  (``engine="auto"`` picks by edge density).
 * :mod:`repro.simulation.results` -- the structured
   :class:`RunResult` / :class:`StopReason` types every run returns.
 
@@ -31,9 +35,11 @@ strategy: both backends consume the same per-node
 :class:`~repro.schedules.transmission.TransmissionSchedule` (the engine
 as a dense ``(cycle, n)`` probability matrix, the runner as per-round
 lookups), so the skeleton and clustered inner loops are equally covered.
-It is pinned by the property-style tests in ``tests/test_vectorized.py``
-and ``tests/test_clustering.py`` and re-checked on every benchmark run
-that includes the reference backend.
+The guarantee also holds per *engine*: both vectorized kernels evaluate
+the identical collision rule on the same replayed draws.  It is pinned
+by the three-way (reference / dense / sparse) equivalence harness in
+``tests/test_engine_equivalence.py`` and re-checked on every benchmark
+run that includes the reference backend.
 """
 
 from repro.simulation.results import RunResult, StopReason
@@ -43,7 +49,9 @@ from repro.simulation.runner import (
     build_seeded_protocols,
     spawn_node_rngs,
 )
+from repro.simulation.sparse import CSRAdjacency, edge_density, select_engine
 from repro.simulation.vectorized import (
+    ENGINES,
     BatchOutcome,
     DrawStreams,
     VectorizedCompeteEngine,
@@ -57,6 +65,10 @@ __all__ = [
     "SeededProtocolFactory",
     "build_seeded_protocols",
     "spawn_node_rngs",
+    "CSRAdjacency",
+    "edge_density",
+    "select_engine",
+    "ENGINES",
     "BatchOutcome",
     "DrawStreams",
     "VectorizedCompeteEngine",

@@ -1,0 +1,231 @@
+"""Sparse (CSR) adjacency kernels for the vectorized Compete engine.
+
+The dense engine of :mod:`repro.simulation.vectorized` computes one round
+as matrix products against the densified adjacency matrix -- ``O(n²)``
+memory and ``O(n²)`` work per round regardless of how sparse the topology
+is.  That is the right trade below a few thousand nodes (BLAS matmuls on
+small dense matrices are extremely fast) and the wrong one above it: a
+``16384``-node path would densify into a 1 GiB ``float32`` matrix whose
+per-round products are ~10⁴ times more work than its 16383 edges justify.
+
+This module is the ``O(n + m)`` alternative: a minimal pure-NumPy CSR
+representation (``indptr``/``indices``, no SciPy dependency) plus the one
+kernel the Compete dynamics need per round -- for every listener, the
+*number* of transmitting neighbours (the collision rule: receive iff
+exactly one) and the *sum* of their ranks (which, at count one, is the
+unique transmitter's rank).  Both are integer segment sums over the CSR
+structure, batched over the trial axis, and therefore exact: the sparse
+engine agrees with the dense engine and the reference runner bit for bit
+(``tests/test_engine_equivalence.py`` pins all three pairwise).
+
+:func:`select_engine` is the density heuristic behind ``engine="auto"``:
+dense for small graphs, sparse for large sparse ones, dense again for
+large graphs so dense that the matmul wins anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+
+#: The two concrete kernel implementations an engine can run on.
+ENGINE_KINDS = ("dense", "sparse")
+
+#: At or below this node count the dense engine is always selected:
+#: the whole matrix fits in cache-friendly memory and BLAS beats the
+#: gather/segment-sum kernels.
+DENSE_NODE_CUTOFF = 1024
+
+#: Above the node cutoff, the sparse engine is selected while the edge
+#: density ``2m / (n(n-1))`` stays below this threshold.  At 1/8 density
+#: the CSR gathers touch a quarter of the dense matrix's entries (two
+#: int64 reads per edge vs one float32 per pair), which is roughly where
+#: the matmul catches back up.
+SPARSE_DENSITY_CUTOFF = 0.125
+
+
+def edge_density(num_nodes: int, num_edges: int) -> float:
+    """The fraction ``2m / (n(n-1))`` of possible edges that are present.
+
+    Defined as 1.0 for graphs with fewer than two nodes (they are as
+    dense as they can be).
+
+    >>> edge_density(4, 3)  # path on 4 nodes
+    0.5
+    >>> edge_density(1, 0)
+    1.0
+    """
+    if num_nodes < 0 or num_edges < 0:
+        raise ConfigurationError(
+            f"num_nodes and num_edges must be >= 0, got "
+            f"({num_nodes}, {num_edges})"
+        )
+    if num_nodes < 2:
+        return 1.0
+    return 2.0 * num_edges / (num_nodes * (num_nodes - 1))
+
+
+def select_engine(num_nodes: int, num_edges: int) -> str:
+    """The edge-density heuristic behind ``engine="auto"``.
+
+    >>> select_engine(256, 255)        # small: dense regardless of shape
+    'dense'
+    >>> select_engine(16384, 16383)    # large path: sparse
+    'sparse'
+    >>> select_engine(4096, 4096 * 2048 // 2)  # large near-complete: dense
+    'dense'
+    """
+    if num_nodes <= DENSE_NODE_CUTOFF:
+        return "dense"
+    if edge_density(num_nodes, num_edges) < SPARSE_DENSITY_CUTOFF:
+        return "sparse"
+    return "dense"
+
+
+def resolve_engine(engine: str, num_nodes: int, num_edges: int) -> str:
+    """Resolve an engine selector to the concrete kernel that will run.
+
+    ``"auto"`` applies :func:`select_engine`; a concrete kind passes
+    through.  This is the single resolution rule shared by the engine
+    constructor, :meth:`repro.core.compete.Compete.selected_engine` and
+    the benchmark artifact's ``engine.selected`` field.
+
+    >>> resolve_engine("dense", 16384, 16383)
+    'dense'
+    >>> resolve_engine("auto", 16384, 16383)
+    'sparse'
+    """
+    if engine == "auto":
+        return select_engine(num_nodes, num_edges)
+    if engine not in ENGINE_KINDS:
+        raise ConfigurationError(
+            f"engine must be 'auto' or one of {ENGINE_KINDS}, got {engine!r}"
+        )
+    return engine
+
+
+class CSRAdjacency:
+    """A symmetric boolean adjacency structure in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1`` with ``indptr[0] == 0``,
+        non-decreasing; row ``i``'s entries live at
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64`` column indices in ``[0, num_nodes)``.  Rows may be
+        empty (isolated nodes); entries are one per directed edge.
+
+    The two arrays are exactly what
+    :meth:`repro.network.graph.Graph.adjacency_csr` returns, so
+    :meth:`from_graph` is the usual constructor.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1 or indptr[0] != 0:
+            raise ConfigurationError(
+                "indptr must be a 1-D array starting at 0"
+            )
+        if (np.diff(indptr) < 0).any():
+            raise ConfigurationError("indptr must be non-decreasing")
+        if indices.ndim != 1 or indices.size != int(indptr[-1]):
+            raise ConfigurationError(
+                f"indices must be 1-D with indptr[-1] = {int(indptr[-1])} "
+                f"entries, got shape {indices.shape}"
+            )
+        num_nodes = indptr.size - 1
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= num_nodes
+        ):
+            raise ConfigurationError(
+                f"indices must lie in [0, {num_nodes})"
+            )
+        self._indptr = indptr
+        self._indices = indices
+        # np.add.reduceat mishandles empty segments (it returns the
+        # element *at* the start instead of 0), so the segment-sum kernel
+        # reduces over the non-empty rows only and scatters the results
+        # back.  Consecutive non-empty starts span exactly one row's
+        # entries because the rows between them contribute none.
+        lengths = np.diff(indptr)
+        self._nonempty_rows = np.nonzero(lengths)[0]
+        self._nonempty_starts = indptr[:-1][self._nonempty_rows]
+
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, order: Optional[list] = None
+    ) -> tuple["CSRAdjacency", list]:
+        """Build from a graph; returns ``(csr, nodes)`` like the dense twin."""
+        indptr, indices, nodes = graph.adjacency_csr(order=order)
+        return cls(indptr, indices), nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self._indptr.size - 1
+
+    @property
+    def num_entries(self) -> int:
+        """Stored entries -- one per directed edge, i.e. ``2m``."""
+        return self._indices.size
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    def to_dense(self) -> np.ndarray:
+        """The equivalent dense boolean matrix (for tests and round-trips)."""
+        n = self.num_nodes
+        matrix = np.zeros((n, n), dtype=bool)
+        rows = np.repeat(np.arange(n), np.diff(self._indptr))
+        matrix[rows, self._indices] = True
+        return matrix
+
+    def counts_and_rank_sums(
+        self, transmit: np.ndarray, ranks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-listener transmitter counts and transmitted-rank sums.
+
+        Parameters
+        ----------
+        transmit:
+            Boolean array of shape ``(trials, n)``: who transmits this
+            round.
+        ranks:
+            ``int64`` array of the same shape: each node's current rank.
+
+        Returns ``(counts, sums)``, both ``int64`` of shape
+        ``(trials, n)``: ``counts[t, j]`` is how many neighbours of ``j``
+        transmit in trial ``t`` and ``sums[t, j]`` the sum of their
+        ranks.  Where ``counts == 1``, ``sums`` *is* the unique
+        transmitter's rank -- the only place the engine reads it.  All
+        arithmetic is integer, so the results are exact (ranks are
+        ``< n`` and sums ``< n²``, far inside int64).
+        """
+        gathered = transmit[:, self._indices].astype(np.int64)
+        weighted = (ranks * transmit)[:, self._indices]
+        return self._segment_sum(gathered), self._segment_sum(weighted)
+
+    def _segment_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum ``values`` (shape ``(trials, num_entries)``) per CSR row."""
+        result = np.zeros((values.shape[0], self.num_nodes), dtype=np.int64)
+        if self._nonempty_starts.size:
+            result[:, self._nonempty_rows] = np.add.reduceat(
+                values, self._nonempty_starts, axis=1
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRAdjacency(n={self.num_nodes}, entries={self.num_entries})"
+        )

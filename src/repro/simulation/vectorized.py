@@ -27,6 +27,23 @@ nothing) -- and one round becomes:
 All three are batched over an additional leading *trial* axis, so many
 seeded trials run simultaneously through the same matrix products.
 
+Two interchangeable kernel **engines** execute the reception step, chosen
+by the ``engine`` argument (``"auto"`` applies the edge-density heuristic
+of :func:`repro.simulation.sparse.select_engine`):
+
+* ``"dense"`` densifies the adjacency matrix once and computes ``counts``
+  and the rank sums as matrix products -- unbeatable below a few thousand
+  nodes, ``O(n²)`` memory and per-round work above that;
+* ``"sparse"`` keeps the graph in CSR form
+  (:class:`repro.simulation.sparse.CSRAdjacency`) and computes the same
+  two quantities as integer segment sums over the ``O(n + m)`` edge
+  structure -- this is what opens the ``n >= 10^4`` scenarios the
+  ROADMAP calls for.
+
+Both engines evaluate the identical collision rule on exactly the same
+draws, so they agree bit for bit; the engine axis is orthogonal to the
+strategy axis and invisible in every result.
+
 Round-exact equivalence with the reference runner
 -------------------------------------------------
 The engine is a *drop-in* backend, not an approximation: for the same
@@ -55,9 +72,13 @@ from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.network.metrics import NetworkMetrics
 from repro.schedules.transmission import decay_probabilities
+from repro.simulation.sparse import CSRAdjacency, ENGINE_KINDS, resolve_engine
 
 #: Rank value meaning "this node knows no message yet".
 NO_MESSAGE = 0
+
+#: Engine selectors: the concrete kernels plus the density heuristic.
+ENGINES = ("auto",) + ENGINE_KINDS
 
 #: Default number of uniform draws pre-fetched per (trial, node) stream.
 #: Larger blocks amortise the per-generator Python call over more rounds
@@ -173,10 +194,17 @@ class VectorizedCompeteEngine:
     Parameters
     ----------
     graph:
-        The communication graph.  Its adjacency matrix is densified once
-        at construction; the engine is therefore intended for the
-        benchmark regime (hundreds to a few thousand nodes), not for
-        graphs too large to hold an ``n x n`` matrix.
+        The communication graph.  Its adjacency structure is snapshotted
+        once at construction -- densified into an ``n x n`` matrix under
+        the dense engine, converted to CSR under the sparse one.
+    engine:
+        ``"dense"``, ``"sparse"``, or ``"auto"`` (the default), which
+        picks by the edge-density heuristic of
+        :func:`repro.simulation.sparse.select_engine`: dense up to
+        :data:`~repro.simulation.sparse.DENSE_NODE_CUTOFF` nodes, sparse
+        above it while the density stays below
+        :data:`~repro.simulation.sparse.SPARSE_DENSITY_CUTOFF`.  The two
+        kernels are bit-for-bit equivalent; only time and memory differ.
     decay_steps:
         Steps per uniform Decay round (``⌈log2 n⌉``); every node's
         transmission probability in global round ``r`` is
@@ -203,6 +231,7 @@ class VectorizedCompeteEngine:
         schedule=None,
         max_rounds: int,
         draw_block: int = DEFAULT_DRAW_BLOCK,
+        engine: str = "auto",
     ) -> None:
         if (decay_steps is None) == (schedule is None):
             raise ConfigurationError(
@@ -212,12 +241,20 @@ class VectorizedCompeteEngine:
             raise ConfigurationError(f"decay_steps must be >= 1, got {decay_steps}")
         if max_rounds < 0:
             raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
-        matrix, nodes = graph.adjacency_matrix()
-        # float32 matmuls are ~2x faster and remain exact as long as every
-        # intermediate integer stays below 2^24: neighbour counts are <= n
-        # and rank sums are <= n * n (ranks are dense, so < n).
-        dtype = np.float32 if len(nodes) ** 2 < 2**24 else np.float64
-        self._adjacency = matrix.astype(dtype)
+        self._engine = engine = resolve_engine(
+            engine, graph.num_nodes, graph.num_edges
+        )
+        self._csr: Optional[CSRAdjacency] = None
+        self._adjacency: Optional[np.ndarray] = None
+        if engine == "sparse":
+            self._csr, nodes = CSRAdjacency.from_graph(graph)
+        else:
+            matrix, nodes = graph.adjacency_matrix()
+            # float32 matmuls are ~2x faster and remain exact as long as
+            # every intermediate integer stays below 2^24: neighbour counts
+            # are <= n and rank sums are <= n * n (ranks are dense, so < n).
+            dtype = np.float32 if len(nodes) ** 2 < 2**24 else np.float64
+            self._adjacency = matrix.astype(dtype)
         self._nodes = tuple(nodes)
         if schedule is not None:
             # One row of per-node probabilities per round of the cycle;
@@ -236,6 +273,39 @@ class VectorizedCompeteEngine:
     def nodes(self) -> tuple:
         """Node order of the engine's per-node axes."""
         return self._nodes
+
+    @property
+    def engine(self) -> str:
+        """The kernel actually selected: ``"dense"`` or ``"sparse"``."""
+        return self._engine
+
+    def _round_reception(
+        self, transmit: np.ndarray, ranks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One round's reception outcome under the selected kernel.
+
+        Returns ``(unique, collided, silent_air, received)``: per
+        (trial, node) whether exactly one / two-or-more / zero neighbours
+        transmitted, and the transmitted-rank sum (meaningful only where
+        ``unique``).  Both kernels compute identical values -- the dense
+        one as float matrix products (exact below the dtype's integer
+        range, see ``__init__``), the sparse one as int64 segment sums.
+        """
+        if self._engine == "dense":
+            adjacency = self._adjacency
+            transmit_f = transmit.astype(adjacency.dtype)
+            counts = transmit_f @ adjacency
+            received = (
+                (transmit_f * ranks.astype(adjacency.dtype)) @ adjacency
+            ).astype(np.int64)
+            return (
+                counts == 1.0,
+                counts >= 2.0,
+                counts == 0.0,
+                received,
+            )
+        counts, received = self._csr.counts_and_rank_sums(transmit, ranks)
+        return counts == 1, counts >= 2, counts == 0, received
 
     def run_batch(
         self,
@@ -306,7 +376,6 @@ class VectorizedCompeteEngine:
                 transmissions, receptions, collisions, idle_listens,
             )
 
-        adjacency = self._adjacency
         streams = DrawStreams(seeds, len(self._nodes), self._draw_block)
 
         cycle_length = self._probabilities.shape[0]
@@ -317,12 +386,9 @@ class VectorizedCompeteEngine:
             draws = streams.take(informed.ravel()).reshape(informed.shape)
             transmit = informed & (draws < probability[None, :])
 
-            transmit_f = transmit.astype(adjacency.dtype)
-            neighbour_counts = transmit_f @ adjacency
-            received = (
-                (transmit_f * ranks.astype(adjacency.dtype)) @ adjacency
-            ).astype(np.int64)
-            unique = neighbour_counts == 1.0
+            unique, collided, silent_air, received = self._round_reception(
+                transmit, ranks
+            )
             # Half-duplex: a transmitter hears nothing this round.
             received_ranks = np.where(unique & ~transmit, received, NO_MESSAGE)
 
@@ -335,10 +401,10 @@ class VectorizedCompeteEngine:
             transmissions += np.where(active, transmit.sum(axis=1), 0)
             receptions += np.where(active, (listening & unique).sum(axis=1), 0)
             collisions += np.where(
-                active, (listening & (neighbour_counts >= 2.0)).sum(axis=1), 0
+                active, (listening & collided).sum(axis=1), 0
             )
             idle_listens += np.where(
-                active, (listening & (neighbour_counts == 0.0)).sum(axis=1), 0
+                active, (listening & silent_air).sum(axis=1), 0
             )
 
             saturated = saturated_now()

@@ -1,4 +1,4 @@
-"""The cluster decomposition subsystem and the strategy x backend matrix.
+"""The cluster decomposition subsystem and the strategy axis on Compete.
 
 Three layers are pinned here:
 
@@ -6,11 +6,12 @@ Three layers are pinned here:
    (partition, radius bound, deterministic leaders, contention bounds);
 2. the Lemma 2.3 cost-charged schedule built from a decomposition
    (power-of-two cycle lengths, contention coverage at every listener);
-3. the strategy axis on Compete: round-exact reference/vectorized
-   agreement for the clustered strategy (the same guarantee PR 2 pinned
-   for the skeleton), and the headline property that the clustered
-   strategy beats the skeleton's round count on low-contention
-   topologies.
+3. the strategy axis on Compete: the headline property that the
+   clustered strategy beats the skeleton's round count on low-contention
+   topologies, and the custom-strategy plug-in API.
+
+Round-exact reference/dense/sparse agreement -- per strategy -- is
+covered by the case table in ``tests/test_engine_equivalence.py``.
 """
 
 import math
@@ -29,7 +30,6 @@ from repro.core.compete import (
     compete,
     resolve_strategy,
 )
-from repro.core.leader_election import elect_leader
 from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.schedules.cluster import charged_cycle_steps, cluster_schedule
@@ -237,53 +237,6 @@ def test_resolve_strategy():
     with pytest.raises(ConfigurationError, match="radius"):
         ClusteredStrategy(radius=-1)
     assert set(STRATEGIES) == {"skeleton", "clustered"}
-
-
-@pytest.mark.parametrize("name,factory", TOPOLOGIES)
-@pytest.mark.parametrize("seed", [0, 7])
-@pytest.mark.parametrize("spontaneous", [False, True])
-def test_clustered_backends_agree_round_exactly(
-    name, factory, seed, spontaneous
-):
-    graph = factory()
-    nodes = graph.nodes()
-    candidates = {nodes[0]: 10, nodes[-1]: 20}
-    reference = compete(
-        graph, candidates, seed=seed, spontaneous=spontaneous,
-        strategy="clustered",
-    )
-    vectorized = compete(
-        graph, candidates, seed=seed, spontaneous=spontaneous,
-        strategy="clustered", backend="vectorized",
-    )
-    context = f"{name} seed={seed} spontaneous={spontaneous}"
-    assert reference.strategy == vectorized.strategy == "clustered", context
-    assert reference.winner == vectorized.winner, context
-    assert reference.success == vectorized.success, context
-    assert reference.rounds == vectorized.rounds, context
-    assert dict(reference.reception_rounds) == dict(
-        vectorized.reception_rounds
-    ), context
-    assert dict(reference.final_messages) == dict(
-        vectorized.final_messages
-    ), context
-    assert (
-        reference.metrics.as_dict() == vectorized.metrics.as_dict()
-    ), context
-
-
-@pytest.mark.parametrize("seed", [0, 4])
-def test_clustered_leader_election_backend_agreement(seed):
-    graph = topology.grid_graph(4, 4)
-    reference = elect_leader(graph, seed=seed, strategy="clustered")
-    vectorized = elect_leader(
-        graph, seed=seed, strategy="clustered", backend="vectorized"
-    )
-    assert reference.success == vectorized.success
-    assert reference.leader == vectorized.leader
-    assert reference.attempts == vectorized.attempts
-    assert reference.rounds == vectorized.rounds
-    assert reference.metrics.as_dict() == vectorized.metrics.as_dict()
 
 
 def test_clustered_broadcast_succeeds_and_beats_skeleton_on_path():

@@ -1,0 +1,284 @@
+"""The backend/engine equivalence harness: reference vs dense vs sparse.
+
+This is the single home of the package's equivalence guarantee
+(``repro.simulation`` docstring).  One table of cases -- topology family
+x strategy x collision model x algorithm -- runs every seeded instance
+through all three execution paths:
+
+* the pure-Python reference ``ProtocolRunner`` (``backend="reference"``),
+* the vectorized backend on the dense matmul kernel (``engine="dense"``),
+* the vectorized backend on the sparse CSR kernel (``engine="sparse"``),
+
+and asserts *round-exact* agreement field by field: same winner/leader,
+same success flag, same executed-round count, same per-node reception
+rounds and final messages, identical metric counters.  Cases marked
+``slow`` cover the large-``n`` regime (up to 1024 nodes with the
+reference runner in the loop, beyond it dense-vs-sparse only) and are
+excluded in CI via ``-m "not slow"``.
+
+Engine *internals* (draw streams, input validation, caching) live in
+``tests/test_vectorized.py``; CSR structure in ``tests/test_sparse.py``;
+decomposition/schedule structure in ``tests/test_clustering.py``.
+"""
+
+import dataclasses
+from typing import Callable, Tuple
+
+import pytest
+
+from repro import topology
+from repro.core.broadcast import broadcast
+from repro.core.compete import Compete, compete
+from repro.core.leader_election import elect_leader
+from repro.core.parameters import CompeteParameters
+from repro.network.graph import Graph
+from repro.network.messages import Message
+from repro.network.radio import CollisionModel
+
+#: The three execution paths compared pairwise: (label, backend, engine).
+EXECUTIONS = (
+    ("reference", "reference", "auto"),
+    ("dense", "vectorized", "dense"),
+    ("sparse", "vectorized", "sparse"),
+)
+
+NO_DETECT = CollisionModel.NO_DETECTION
+DETECT = CollisionModel.WITH_DETECTION
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One row of the equivalence table."""
+
+    name: str
+    factory: Callable[[], Graph]
+    algorithm: str = "compete"  # compete | broadcast | election
+    strategy: str = "skeleton"
+    collision_model: CollisionModel = NO_DETECT
+    spontaneous: bool = True
+    seeds: Tuple[int, ...] = (0, 7)
+    slow: bool = False
+
+
+CASES = [
+    # --- Compete: candidate races across the family x strategy grid ----
+    Case("compete-path-skeleton", lambda: topology.path_graph(17)),
+    Case("compete-path-clustered", lambda: topology.path_graph(30),
+         strategy="clustered"),
+    Case("compete-path-classical", lambda: topology.path_graph(17),
+         spontaneous=False),
+    Case("compete-star-skeleton-detect", lambda: topology.star_graph(12),
+         collision_model=DETECT),
+    Case("compete-star-clustered", lambda: topology.star_graph(12),
+         strategy="clustered"),
+    Case("compete-grid-skeleton", lambda: topology.grid_graph(5, 5)),
+    Case("compete-grid-clustered-detect", lambda: topology.grid_graph(6, 5),
+         strategy="clustered", collision_model=DETECT),
+    Case("compete-grid-classical-clustered",
+         lambda: topology.grid_graph(5, 5), strategy="clustered",
+         spontaneous=False),
+    Case("compete-gnp-skeleton",
+         lambda: topology.connected_gnp_graph(20, 0.15, seed=11)),
+    Case("compete-gnp-clustered",
+         lambda: topology.connected_gnp_graph(24, 0.15, seed=9),
+         strategy="clustered"),
+    Case("compete-randomtree-skeleton",
+         lambda: topology.random_tree_graph(18, seed=4)),
+    Case("compete-cliquepath-clustered",
+         lambda: topology.path_of_cliques_graph(5, 5), strategy="clustered"),
+    # --- broadcast: the one-candidate instance -------------------------
+    Case("broadcast-path-skeleton", lambda: topology.path_graph(16),
+         algorithm="broadcast"),
+    Case("broadcast-path-classical", lambda: topology.path_graph(16),
+         algorithm="broadcast", spontaneous=False),
+    Case("broadcast-grid-clustered", lambda: topology.grid_graph(4, 5),
+         algorithm="broadcast", strategy="clustered"),
+    Case("broadcast-star-detect", lambda: topology.star_graph(10),
+         algorithm="broadcast", collision_model=DETECT),
+    Case("broadcast-tree-skeleton", lambda: topology.binary_tree_graph(4),
+         algorithm="broadcast"),
+    # --- leader election: retries + candidate randomness ---------------
+    Case("election-grid-skeleton", lambda: topology.grid_graph(4, 4),
+         algorithm="election", spontaneous=False, seeds=(0, 3, 9)),
+    Case("election-grid-clustered", lambda: topology.grid_graph(4, 4),
+         algorithm="election", strategy="clustered", spontaneous=False,
+         seeds=(0, 4)),
+    Case("election-complete-skeleton", lambda: topology.complete_graph(16),
+         algorithm="election", spontaneous=False),
+    Case("election-gnp-clustered",
+         lambda: topology.connected_gnp_graph(16, 0.2, seed=3),
+         algorithm="election", strategy="clustered", spontaneous=False),
+    Case("election-star-spontaneous", lambda: topology.star_graph(8),
+         algorithm="election", spontaneous=True),
+    # --- the large-n regime (excluded in CI via -m "not slow") ---------
+    Case("compete-grid-n1024", lambda: topology.grid_graph(32, 32),
+         seeds=(0,), slow=True),
+    Case("compete-tree-n1023-clustered",
+         lambda: topology.binary_tree_graph(9), strategy="clustered",
+         seeds=(0,), slow=True),
+    Case("broadcast-gnp-n1024",
+         lambda: topology.connected_gnp_graph(1024, 0.008, seed=1024),
+         algorithm="broadcast", seeds=(0,), slow=True),
+    Case("broadcast-path-n257-clustered", lambda: topology.path_graph(257),
+         algorithm="broadcast", strategy="clustered", seeds=(0,),
+         slow=True),
+]
+
+
+def case_params():
+    for case in CASES:
+        marks = (pytest.mark.slow,) if case.slow else ()
+        yield pytest.param(case, id=case.name, marks=marks)
+
+
+def run_case(case: Case, seed: int, backend: str, engine: str):
+    """Execute one case on one execution path."""
+    graph = case.factory()
+    common = dict(
+        seed=seed,
+        strategy=case.strategy,
+        collision_model=case.collision_model,
+        spontaneous=case.spontaneous,
+        backend=backend,
+        engine=engine,
+    )
+    if case.algorithm == "compete":
+        nodes = graph.nodes()
+        candidates = {
+            nodes[0]: 10, nodes[-1]: 20, nodes[len(nodes) // 2]: 15
+        }
+        return compete(graph, candidates, **common)
+    if case.algorithm == "broadcast":
+        return broadcast(graph, source=graph.nodes()[0], **common)
+    assert case.algorithm == "election"
+    return elect_leader(graph, **common)
+
+
+def assert_round_exact(case: Case, seed: int, reference, other, label: str):
+    """Field-by-field agreement of two results of the same algorithm."""
+    context = f"{case.name} seed={seed}: reference vs {label}"
+    if case.algorithm == "election":
+        fields = ("success", "leader", "attempts", "rounds", "num_candidates")
+    elif case.algorithm == "broadcast":
+        fields = ("success", "source", "message", "rounds", "num_informed")
+    else:
+        fields = ("success", "winner", "rounds", "num_candidates")
+    for field in fields:
+        assert getattr(reference, field) == getattr(other, field), (
+            f"{context}: {field} diverged"
+        )
+    assert dict(reference.reception_rounds) == dict(
+        other.reception_rounds
+    ), context
+    if case.algorithm == "compete":
+        assert dict(reference.final_messages) == dict(
+            other.final_messages
+        ), context
+    assert reference.metrics.as_dict() == other.metrics.as_dict(), context
+
+
+@pytest.mark.parametrize("case", case_params())
+def test_three_way_round_exact_agreement(case):
+    for seed in case.seeds:
+        results = {
+            label: run_case(case, seed, backend, engine)
+            for label, backend, engine in EXECUTIONS
+        }
+        assert_round_exact(case, seed, results["reference"],
+                           results["dense"], "dense")
+        assert_round_exact(case, seed, results["reference"],
+                           results["sparse"], "sparse")
+
+
+# ----------------------------------------------------------------------
+# Degenerate and boundary dynamics, across all three paths
+# ----------------------------------------------------------------------
+def _three_way_compete(graph, candidates, *, parameters=None,
+                       spontaneous=False, seed=0):
+    return {
+        label: Compete(
+            graph, parameters=parameters, backend=backend, engine=engine
+        ).run(candidates, seed=seed, spontaneous=spontaneous)
+        for label, backend, engine in EXECUTIONS
+    }
+
+
+def _assert_all_equal(results):
+    reference = results["reference"]
+    for label in ("dense", "sparse"):
+        other = results[label]
+        assert reference.success == other.success, label
+        assert reference.winner == other.winner, label
+        assert reference.rounds == other.rounds, label
+        assert dict(reference.reception_rounds) == dict(
+            other.reception_rounds
+        ), label
+        assert dict(reference.final_messages) == dict(
+            other.final_messages
+        ), label
+        assert reference.metrics.as_dict() == other.metrics.as_dict(), label
+    return reference
+
+
+def test_budget_exhaustion_agreement():
+    # A schedule far too short to saturate must fail identically on all
+    # three paths (same partial progress, same charged rounds).
+    graph = topology.path_graph(12)
+    parameters = CompeteParameters(
+        num_nodes=12, diameter=11, decay_steps=4, num_decay_rounds=2
+    )
+    for seed in range(4):
+        results = _three_way_compete(
+            graph, {0: 1}, parameters=parameters, seed=seed
+        )
+        reference = _assert_all_equal(results)
+        assert reference.rounds == parameters.total_rounds
+
+
+def test_no_candidates_agreement():
+    # The empty race charges the full (silent or dummy-only) schedule and
+    # fails -- identically everywhere.
+    graph = topology.star_graph(5)
+    for spontaneous in (False, True):
+        results = _three_way_compete(
+            graph, {}, spontaneous=spontaneous, seed=2
+        )
+        reference = _assert_all_equal(results)
+        assert not reference.success
+        assert reference.winner is None
+
+
+def test_degenerate_saturation_agreement():
+    # Single node, and every node already holding the winner: zero rounds
+    # and zero traffic on all three paths.
+    single = Graph(nodes=[0])
+    results = _three_way_compete(single, {0: 1}, seed=0)
+    assert _assert_all_equal(results).rounds == 0
+
+    clique = topology.complete_graph(4)
+    winner = Message(value=9, source=0)
+    results = _three_way_compete(
+        clique, {node: winner for node in clique.nodes()}, seed=1
+    )
+    assert _assert_all_equal(results).rounds == 0
+
+
+@pytest.mark.slow
+def test_dense_sparse_agree_beyond_reference_scale():
+    # Past n = 1024 the reference runner drops out of the loop; the two
+    # vectorized kernels must still agree batch-for-batch.  n = 2047 is
+    # above DENSE_NODE_CUTOFF, so this also exercises a forced dense
+    # engine on a graph the auto heuristic would route to sparse.
+    graph = topology.binary_tree_graph(10)  # n = 2047, D = 20
+    seeds = [0, 1, 2]
+    outcomes = {}
+    for engine in ("dense", "sparse"):
+        primitive = Compete(graph, backend="vectorized", engine=engine)
+        outcomes[engine] = primitive.run_batch(
+            {0: 1}, seeds=seeds, spontaneous=True
+        )
+    for fast, slow in zip(outcomes["sparse"], outcomes["dense"]):
+        assert fast.success and slow.success
+        assert fast.rounds == slow.rounds
+        assert dict(fast.reception_rounds) == dict(slow.reception_rounds)
+        assert fast.metrics.as_dict() == slow.metrics.as_dict()

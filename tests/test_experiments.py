@@ -114,6 +114,42 @@ def test_scenario_round_trips_through_dict():
     assert json.loads(json.dumps(TINY.to_dict())) == TINY.to_dict()
 
 
+def test_engine_field_round_trips_and_validates():
+    sparse = Scenario(
+        name="x-sparse", description="", family="path",
+        topology_args={"num_nodes": 8}, algorithm="broadcast",
+        engine="sparse",
+    )
+    assert Scenario.from_dict(sparse.to_dict()).engine == "sparse"
+    # Dicts without an engine key (pre-PR-4 artifacts) default to auto.
+    legacy = sparse.to_dict()
+    del legacy["engine"]
+    assert Scenario.from_dict(legacy).engine == "auto"
+    with pytest.raises(ConfigurationError, match="engine"):
+        Scenario(name="x", description="", family="path",
+                 topology_args={"num_nodes": 8}, algorithm="broadcast",
+                 engine="gpu")
+
+
+def test_sparse_regime_scenarios_are_registered():
+    # The n >= 4096 sweep the sparse engine opens: path/grid/tree/gnp at
+    # both scales, auto engine (the density heuristic selects sparse),
+    # never tagged smoke (CI runs them via the dedicated sparse step).
+    names = [
+        "broadcast-path-n4096", "broadcast-grid-n4096",
+        "broadcast-tree-n4095", "broadcast-gnp-n4096",
+        "broadcast-path-n16384", "broadcast-grid-n16384",
+        "broadcast-tree-n16383", "broadcast-gnp-n16384",
+    ]
+    for name in names:
+        scenario = get_scenario(name)
+        assert scenario.engine == "auto"
+        assert "sparse" in scenario.tags
+        assert "smoke" not in scenario.tags
+        assert ("xlarge" in scenario.tags) == ("n16384" in name
+                                               or "n16383" in name)
+
+
 def test_registry_rejects_duplicates_and_reports_unknown():
     registry = ScenarioRegistry()
     registry.register(TINY)
@@ -137,6 +173,9 @@ def test_run_benchmark_emits_schema_valid_payload(tmp_path):
         "reference": 2, "base_seed": 5,
     }
     assert payload["scenario"]["strategy"] == "skeleton"
+    assert payload["scenario"]["engine"] == "auto"
+    # n=8 resolves to the dense kernel; the payload records the fact.
+    assert payload["engine"] == {"requested": "auto", "selected": "dense"}
     assert payload["topology"]["num_nodes"] == 8
     assert payload["agreement"]["round_exact"] is True
     assert payload["timing"]["speedup"] is not None
@@ -208,6 +247,18 @@ def test_run_benchmark_clustered_strategy_agrees_with_reference():
     assert payload["results"]["success_rate"] == 1.0
 
 
+def test_run_benchmark_forced_sparse_engine_agrees_with_reference():
+    # Forcing the CSR kernel on a small scenario keeps the reference
+    # agreement pass in the loop -- a sparse-engine drift would raise
+    # SimulationError here -- and the payload records the override.
+    payload = run_benchmark(TINY, reference_trials=2, engine="sparse")
+    validate_bench(payload)
+    assert payload["engine"] == {"requested": "sparse", "selected": "sparse"}
+    assert payload["agreement"]["round_exact"] is True
+    with pytest.raises(ConfigurationError, match="engine"):
+        run_benchmark(TINY, engine="gpu")
+
+
 def test_run_benchmark_without_reference():
     payload = run_benchmark(TINY, include_reference=False)
     validate_bench(payload)
@@ -238,12 +289,25 @@ def test_validate_bench_rejects_corrupted_payloads():
     corrupt(lambda p: p["scenario"].update(strategy=7))  # not a string
     corrupt(lambda p: p["trials"].pop("seed_batches"))  # per_batch orphaned
     corrupt(lambda p: p["trials"].update(seed_batches=2))  # 2*3 != 3
+    corrupt(lambda p: p["scenario"].update(engine="gpu"))
+    corrupt(lambda p: p["engine"].pop("selected"))
+    corrupt(lambda p: p["engine"].update(requested="gpu"))
+    corrupt(lambda p: p["engine"].update(selected="auto"))  # never concrete
+    # A non-auto request must match what ran.
+    corrupt(lambda p: p["engine"].update(requested="sparse",
+                                         selected="dense"))
 
     # Pre-PR-3 artifacts (no strategy, no batch fields) still validate.
     legacy = copy.deepcopy(payload)
     legacy["scenario"].pop("strategy")
     legacy["trials"].pop("per_batch")
     legacy["trials"].pop("seed_batches")
+    validate_bench(legacy)
+
+    # Pre-PR-4 artifacts additionally omit the engine block (they all
+    # ran the dense engine, the only one that existed).
+    legacy.pop("engine")
+    legacy["scenario"].pop("engine")
     validate_bench(legacy)
 
 
@@ -297,6 +361,20 @@ def test_cli_seeds_flag(tmp_path, capsys):
     payload = json.loads(artifact.read_text())
     assert payload["trials"]["vectorized"] == 4
     assert payload["trials"]["seed_batches"] == 2
+
+
+def test_cli_engine_flag(tmp_path, capsys):
+    out_dir = str(tmp_path / "bench")
+    assert main([
+        "run", "broadcast-path-n32",
+        "--trials", "2", "--engine", "sparse", "--reference-trials", "1",
+        "--out", out_dir,
+    ]) == 0
+    assert "sparse engine" in capsys.readouterr().out
+    payload = json.loads(
+        (tmp_path / "bench" / "BENCH_broadcast-path-n32.json").read_text()
+    )
+    assert payload["engine"] == {"requested": "sparse", "selected": "sparse"}
 
 
 def test_cli_sweep_with_limit(tmp_path, capsys):

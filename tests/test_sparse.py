@@ -1,0 +1,167 @@
+"""The CSR substrate: Graph.adjacency_csr, CSRAdjacency, engine selection.
+
+Property-style: randomized graphs are converted both ways and the CSR
+form must round-trip against the dense adjacency matrix exactly --
+including the degenerate shapes (single node, isolated nodes, empty edge
+set) the reduceat-based segment-sum kernel is most likely to mishandle.
+"""
+
+import numpy as np
+import pytest
+
+from repro import topology
+from repro.errors import ConfigurationError, GraphError
+from repro.network.graph import Graph
+from repro.simulation.sparse import (
+    DENSE_NODE_CUTOFF,
+    SPARSE_DENSITY_CUTOFF,
+    CSRAdjacency,
+    edge_density,
+    select_engine,
+)
+
+
+# ----------------------------------------------------------------------
+# Graph.adjacency_csr
+# ----------------------------------------------------------------------
+def csr_to_dense(indptr, indices, n):
+    matrix = np.zeros((n, n), dtype=bool)
+    for row in range(n):
+        matrix[row, indices[indptr[row]:indptr[row + 1]]] = True
+    return matrix
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_adjacency_csr_round_trips_against_dense(seed):
+    rng = np.random.default_rng(seed)
+    graph = topology.connected_gnp_graph(
+        int(rng.integers(2, 40)), float(rng.uniform(0.05, 0.6)), seed=seed
+    )
+    dense, dense_nodes = graph.adjacency_matrix()
+    indptr, indices, nodes = graph.adjacency_csr()
+    assert nodes == dense_nodes
+    assert indptr.dtype == np.int64 and indices.dtype == np.int64
+    assert indptr[0] == 0 and indptr[-1] == 2 * graph.num_edges
+    # Row contents are sorted (deterministic layout regardless of the
+    # adjacency sets' iteration order).
+    for row in range(len(nodes)):
+        segment = indices[indptr[row]:indptr[row + 1]]
+        assert (np.diff(segment) > 0).all()
+    assert np.array_equal(csr_to_dense(indptr, indices, len(nodes)), dense)
+
+
+def test_adjacency_csr_degenerate_graphs():
+    single = Graph(nodes=["only"])
+    indptr, indices, nodes = single.adjacency_csr()
+    assert nodes == ["only"]
+    assert list(indptr) == [0, 0] and indices.size == 0
+
+    # Isolated nodes produce empty rows amid non-empty ones.
+    graph = Graph(nodes=[0, 1, 2, 3], edges=[(0, 2)])
+    indptr, indices, nodes = graph.adjacency_csr()
+    assert list(indptr) == [0, 1, 1, 2, 2]
+    assert list(indices) == [2, 0]
+
+    empty_edges = Graph(nodes=range(5))
+    indptr, indices, _ = empty_edges.adjacency_csr()
+    assert list(indptr) == [0] * 6 and indices.size == 0
+
+
+def test_adjacency_csr_respects_node_order_permutations():
+    graph = topology.path_graph(6)
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        order = list(rng.permutation(6))
+        dense, _ = graph.adjacency_matrix(order=order)
+        indptr, indices, nodes = graph.adjacency_csr(order=order)
+        assert nodes == order
+        assert np.array_equal(csr_to_dense(indptr, indices, 6), dense)
+    with pytest.raises(GraphError, match="permutation"):
+        graph.adjacency_csr(order=[0, 1])
+    with pytest.raises(GraphError, match="permutation"):
+        graph.adjacency_csr(order=[0, 0, 1, 2, 3, 4])
+
+
+# ----------------------------------------------------------------------
+# CSRAdjacency
+# ----------------------------------------------------------------------
+def test_csr_adjacency_from_graph_round_trips():
+    graph = topology.grid_graph(4, 3)
+    csr, nodes = CSRAdjacency.from_graph(graph)
+    dense, dense_nodes = graph.adjacency_matrix()
+    assert nodes == dense_nodes
+    assert csr.num_nodes == graph.num_nodes
+    assert csr.num_entries == 2 * graph.num_edges
+    assert np.array_equal(csr.to_dense(), dense)
+
+
+def test_csr_adjacency_validation():
+    with pytest.raises(ConfigurationError, match="starting at 0"):
+        CSRAdjacency(np.array([1, 2]), np.array([0]))
+    with pytest.raises(ConfigurationError, match="non-decreasing"):
+        CSRAdjacency(np.array([0, 2, 1]), np.array([0, 1]))
+    with pytest.raises(ConfigurationError, match="entries"):
+        CSRAdjacency(np.array([0, 2]), np.array([0]))
+    with pytest.raises(ConfigurationError, match="lie in"):
+        CSRAdjacency(np.array([0, 1]), np.array([5]))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_counts_and_rank_sums_match_dense_matmul(seed):
+    # The kernel behind the sparse engine, checked against the dense
+    # formulation on random transmit patterns and ranks -- including a
+    # graph with isolated nodes (empty CSR rows).
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 30))
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.2:
+                graph.add_edge(u, v)
+    csr, nodes = CSRAdjacency.from_graph(graph)
+    dense, _ = graph.adjacency_matrix()
+    dense_f = dense.astype(np.float64)
+
+    trials = 4
+    transmit = rng.random((trials, n)) < 0.4
+    ranks = rng.integers(0, n, size=(trials, n)).astype(np.int64)
+    counts, sums = csr.counts_and_rank_sums(transmit, ranks)
+    expected_counts = (transmit.astype(np.float64) @ dense_f).astype(np.int64)
+    expected_sums = (
+        (transmit * ranks).astype(np.float64) @ dense_f
+    ).astype(np.int64)
+    assert counts.dtype == np.int64 and sums.dtype == np.int64
+    assert np.array_equal(counts, expected_counts)
+    assert np.array_equal(sums, expected_sums)
+
+
+def test_counts_on_edgeless_graph_are_zero():
+    csr, _ = CSRAdjacency.from_graph(Graph(nodes=range(4)))
+    transmit = np.ones((2, 4), dtype=bool)
+    ranks = np.arange(8, dtype=np.int64).reshape(2, 4)
+    counts, sums = csr.counts_and_rank_sums(transmit, ranks)
+    assert not counts.any() and not sums.any()
+
+
+# ----------------------------------------------------------------------
+# engine selection heuristic
+# ----------------------------------------------------------------------
+def test_edge_density():
+    assert edge_density(4, 3) == 0.5
+    assert edge_density(1, 0) == 1.0
+    assert edge_density(0, 0) == 1.0
+    with pytest.raises(ConfigurationError):
+        edge_density(-1, 0)
+
+
+def test_select_engine_heuristic():
+    # Small graphs are always dense, whatever their shape.
+    assert select_engine(8, 7) == "dense"
+    assert select_engine(DENSE_NODE_CUTOFF, DENSE_NODE_CUTOFF - 1) == "dense"
+    # Large sparse graphs go sparse; large dense graphs stay dense.
+    n = DENSE_NODE_CUTOFF + 1
+    sparse_edges = n  # density ~ 2/n, far below the cutoff
+    dense_edges = int(SPARSE_DENSITY_CUTOFF * n * (n - 1) / 2) + n
+    assert select_engine(n, sparse_edges) == "sparse"
+    assert select_engine(n, dense_edges) == "dense"
+    assert select_engine(16384, 16383) == "sparse"  # the ROADMAP regime

@@ -1,23 +1,20 @@
-"""Backend equivalence: the vectorized engine vs. the reference runner.
+"""Internals of the vectorized engine (both kernels).
 
-These are the tests behind the package's equivalence guarantee
-(``repro.simulation`` docstring): for the same graph, candidates and
-seed, the two backends must agree *round for round* -- same winner, same
-success flag, same executed-round count, same per-node reception rounds
-and final messages, and identical metric counters.  The suite sweeps
-topology families x seeds x the spontaneous flag, property-style.
+The *equivalence* guarantee -- reference runner vs dense vs sparse,
+round for round, across the family x strategy x collision x algorithm
+table -- is pinned by ``tests/test_engine_equivalence.py``.  This file
+covers what is not visible from the outside: batch/single consistency,
+draw-stream buffering, input validation, cache invalidation on graph
+mutation, and the message-ranking reduction.
 """
 
 import numpy as np
 import pytest
 
 from repro import topology
-from repro.core.compete import Compete, compete
-from repro.core.broadcast import broadcast
-from repro.core.leader_election import elect_leader
+from repro.core.compete import Compete
 from repro.core.parameters import CompeteParameters
 from repro.errors import ConfigurationError
-from repro.network.graph import Graph
 from repro.network.messages import Message
 from repro.simulation.vectorized import (
     NO_MESSAGE,
@@ -43,66 +40,10 @@ def assert_same_compete_result(reference, vectorized, context=""):
     ), context
 
 
-TOPOLOGIES = [
-    ("path", lambda: topology.path_graph(17)),
-    ("star", lambda: topology.star_graph(12)),
-    ("grid", lambda: topology.grid_graph(5, 5)),
-    ("random-gnp", lambda: topology.connected_gnp_graph(20, 0.15, seed=11)),
-    ("random-tree", lambda: topology.random_tree_graph(18, seed=4)),
-]
-
-
-@pytest.mark.parametrize("name,factory", TOPOLOGIES)
-@pytest.mark.parametrize("seed", [0, 1, 7])
-@pytest.mark.parametrize("spontaneous", [False, True])
-def test_compete_equivalence(name, factory, seed, spontaneous):
-    graph = factory()
-    nodes = graph.nodes()
-    candidates = {nodes[0]: 10, nodes[-1]: 20, nodes[len(nodes) // 2]: 15}
-    reference = compete(
-        graph, candidates, seed=seed, spontaneous=spontaneous
-    )
-    vectorized = compete(
-        graph, candidates, seed=seed, spontaneous=spontaneous,
-        backend="vectorized",
-    )
-    assert_same_compete_result(
-        reference, vectorized, f"{name} seed={seed} spontaneous={spontaneous}"
-    )
-
-
-@pytest.mark.parametrize("name,factory", TOPOLOGIES)
-@pytest.mark.parametrize("seed", [0, 5])
-def test_broadcast_equivalence(name, factory, seed):
-    graph = factory()
-    reference = broadcast(graph, source=graph.nodes()[0], seed=seed)
-    vectorized = broadcast(
-        graph, source=graph.nodes()[0], seed=seed, backend="vectorized"
-    )
-    assert reference.success == vectorized.success
-    assert reference.rounds == vectorized.rounds
-    assert reference.num_informed == vectorized.num_informed
-    assert dict(reference.reception_rounds) == dict(
-        vectorized.reception_rounds
-    )
-    assert reference.metrics.as_dict() == vectorized.metrics.as_dict()
-
-
-@pytest.mark.parametrize("seed", [0, 3, 9])
-def test_leader_election_equivalence(seed):
-    graph = topology.grid_graph(4, 4)
-    reference = elect_leader(graph, seed=seed)
-    vectorized = elect_leader(graph, seed=seed, backend="vectorized")
-    assert reference.success == vectorized.success
-    assert reference.leader == vectorized.leader
-    assert reference.attempts == vectorized.attempts
-    assert reference.rounds == vectorized.rounds
-    assert reference.metrics.as_dict() == vectorized.metrics.as_dict()
-
-
-def test_run_batch_matches_individual_runs():
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+def test_run_batch_matches_individual_runs(engine):
     graph = topology.grid_graph(4, 5)
-    primitive = Compete(graph)
+    primitive = Compete(graph, engine=engine)
     candidates = {0: 5, 19: 9}
     seeds = [0, 1, 2, 3, 4]
     batch = primitive.run_batch(candidates, seeds=seeds, spontaneous=True)
@@ -116,70 +57,8 @@ def test_run_batch_matches_individual_runs():
         assert_same_compete_result(single_vec, batched, f"seed={seed}")
 
 
-def test_collision_detection_model_equivalence():
-    from repro.network.radio import CollisionModel
-
-    graph = topology.star_graph(10)
-    candidates = {1: 3, 2: 8}
-    for seed in (0, 1):
-        reference = compete(
-            graph, candidates, seed=seed, spontaneous=True,
-            collision_model=CollisionModel.WITH_DETECTION,
-        )
-        vectorized = compete(
-            graph, candidates, seed=seed, spontaneous=True,
-            collision_model=CollisionModel.WITH_DETECTION,
-            backend="vectorized",
-        )
-        assert_same_compete_result(reference, vectorized)
-
-
-def test_budget_exhaustion_parity():
-    # A schedule far too short to saturate must fail identically on both
-    # backends (same partial progress, same charged rounds).
-    graph = topology.path_graph(12)
-    parameters = CompeteParameters(
-        num_nodes=12, diameter=11, decay_steps=4, num_decay_rounds=2
-    )
-    primitive_ref = Compete(graph, parameters=parameters)
-    primitive_vec = Compete(graph, parameters=parameters, backend="vectorized")
-    for seed in range(4):
-        reference = primitive_ref.run({0: 1}, seed=seed)
-        vectorized = primitive_vec.run({0: 1}, seed=seed)
-        assert reference.rounds == parameters.total_rounds
-        assert_same_compete_result(reference, vectorized, f"seed={seed}")
-
-
-def test_no_candidates_parity():
-    graph = topology.star_graph(5)
-    for spontaneous in (False, True):
-        reference = compete(graph, {}, seed=2, spontaneous=spontaneous)
-        vectorized = compete(
-            graph, {}, seed=2, spontaneous=spontaneous, backend="vectorized"
-        )
-        assert not reference.success
-        assert reference.winner is None
-        assert_same_compete_result(reference, vectorized)
-
-
-def test_single_node_and_presaturated_parity():
-    single = Graph(nodes=[0])
-    reference = compete(single, {0: 1}, seed=0)
-    vectorized = compete(single, {0: 1}, seed=0, backend="vectorized")
-    assert reference.rounds == vectorized.rounds == 0
-    assert_same_compete_result(reference, vectorized)
-
-    # Every node already holds the winning message: zero rounds, no metrics.
-    clique = topology.complete_graph(4)
-    winner = Message(value=9, source=0)
-    candidates = {node: winner for node in clique.nodes()}
-    reference = compete(clique, candidates, seed=1)
-    vectorized = compete(clique, candidates, seed=1, backend="vectorized")
-    assert reference.rounds == vectorized.rounds == 0
-    assert_same_compete_result(reference, vectorized)
-
-
-def test_engine_draw_block_size_is_invisible():
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+def test_engine_draw_block_size_is_invisible(engine):
     # The pre-draw block size is an implementation detail; shrinking it to
     # force mid-run refills must not change any outcome array.
     graph = topology.grid_graph(4, 4)
@@ -189,13 +68,14 @@ def test_engine_draw_block_size_is_invisible():
     seeds = [0, 1, 2]
     outcomes = []
     for block in (2, 64, 4096):
-        engine = VectorizedCompeteEngine(
+        engine_obj = VectorizedCompeteEngine(
             graph,
             decay_steps=parameters.decay_steps,
             max_rounds=parameters.total_rounds,
             draw_block=block,
+            engine=engine,
         )
-        outcomes.append(engine.run_batch(ranks.copy(), 1, seeds))
+        outcomes.append(engine_obj.run_batch(ranks.copy(), 1, seeds))
     first = outcomes[0]
     for other in outcomes[1:]:
         assert np.array_equal(first.rounds, other.rounds)
@@ -215,18 +95,38 @@ def test_engine_input_validation():
         engine.run_batch(np.full((1, 4), -1), None, [0])
     with pytest.raises(ConfigurationError):
         VectorizedCompeteEngine(graph, decay_steps=0, max_rounds=1)
+    with pytest.raises(ConfigurationError, match="engine"):
+        VectorizedCompeteEngine(graph, decay_steps=2, max_rounds=1,
+                                engine="quantum")
     with pytest.raises(ConfigurationError):
         Compete(graph, backend="warp-drive")
+    with pytest.raises(ConfigurationError, match="engine"):
+        Compete(graph, engine="warp-core")
     with pytest.raises(ConfigurationError):
         Compete(graph).run({0: 1}, backend="warp-drive")
 
 
-def test_engine_cache_tracks_graph_mutation():
-    # The cached engine densifies the adjacency matrix; mutating the
+def test_engine_selection_is_visible():
+    graph = topology.path_graph(6)
+    assert VectorizedCompeteEngine(
+        graph, decay_steps=2, max_rounds=4
+    ).engine == "dense"  # auto on a small graph
+    assert VectorizedCompeteEngine(
+        graph, decay_steps=2, max_rounds=4, engine="sparse"
+    ).engine == "sparse"
+    primitive = Compete(graph, engine="sparse")
+    assert primitive.engine == "sparse"
+    assert primitive.selected_engine() == "sparse"
+    assert Compete(graph).selected_engine() == "dense"
+
+
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+def test_engine_cache_tracks_graph_mutation(engine):
+    # The cached engine snapshots the adjacency structure; mutating the
     # graph between runs must rebuild it so both backends keep seeing
     # the same (live) topology.
     graph = topology.path_graph(8)
-    primitive = Compete(graph, backend="vectorized")
+    primitive = Compete(graph, backend="vectorized", engine=engine)
     before = primitive.run({0: 1}, seed=3, spontaneous=True)
     graph.add_edge(0, 7)  # diameter collapses; propagation changes
     after = primitive.run({0: 1}, seed=3, spontaneous=True)
