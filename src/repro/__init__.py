@@ -38,8 +38,18 @@ from repro.simulation.results import RunResult, StopReason
 from repro.simulation.runner import ProtocolRunner
 from repro.core.parameters import CompeteParameters
 from repro.core.compete import Compete, CompeteResult, compete
-from repro.core.broadcast import broadcast, BroadcastResult
+from repro.core.broadcast import broadcast, broadcast_batch, BroadcastResult
+from repro.core.decay_broadcast import decay_broadcast, DecayBroadcastResult
 from repro.core.leader_election import elect_leader, LeaderElectionResult
+from repro.api import (
+    DEFAULT_ALGORITHMS,
+    Algorithm,
+    AlgorithmRegistry,
+    ExecutionConfig,
+    ResolvedExecution,
+    get_algorithm,
+    resolve_execution,
+)
 
 __all__ = [
     "__version__",
@@ -59,7 +69,17 @@ __all__ = [
     "CompeteResult",
     "compete",
     "broadcast",
+    "broadcast_batch",
     "BroadcastResult",
+    "decay_broadcast",
+    "DecayBroadcastResult",
     "elect_leader",
     "LeaderElectionResult",
+    "DEFAULT_ALGORITHMS",
+    "Algorithm",
+    "AlgorithmRegistry",
+    "ExecutionConfig",
+    "ResolvedExecution",
+    "get_algorithm",
+    "resolve_execution",
 ]

@@ -1,0 +1,51 @@
+"""The first-class run API: one config object, one algorithm registry.
+
+This layer is the single front door for *how* and *what* to run:
+
+* :class:`~repro.api.config.ExecutionConfig` -- a validated, immutable
+  value object holding every execution axis (backend, engine, strategy,
+  collision model, round budget, seed policy) that used to be threaded
+  as separate keyword arguments through every entry point.
+  :func:`~repro.api.config.resolve_execution` binds a config to a
+  concrete graph -- deriving the round budget, compiling the strategy's
+  :class:`~repro.schedules.transmission.TransmissionSchedule`, and
+  resolving ``engine="auto"`` through the edge-density heuristic in
+  exactly one place.
+* :class:`~repro.api.registry.AlgorithmRegistry` -- algorithms
+  (``broadcast``, ``leader-election``, the classical
+  ``decay-broadcast`` baseline, and future prior-work protocols) as
+  named, capability-declaring plugins
+  (:data:`~repro.api.registry.DEFAULT_ALGORITHMS`), so scenarios and
+  the CLI dispatch by name instead of ``if``/``elif`` chains.
+
+The old per-function ``backend=``/``engine=``/``strategy=`` kwargs keep
+working for one release through
+:func:`~repro.api.config.coerce_execution_config` (one
+:class:`DeprecationWarning` per call, identical results).
+"""
+
+from repro.api.config import (
+    RNG_POLICIES,
+    ExecutionConfig,
+    ResolvedExecution,
+    coerce_execution_config,
+    resolve_execution,
+)
+from repro.api.registry import (
+    DEFAULT_ALGORITHMS,
+    Algorithm,
+    AlgorithmRegistry,
+    get_algorithm,
+)
+
+__all__ = [
+    "RNG_POLICIES",
+    "ExecutionConfig",
+    "ResolvedExecution",
+    "coerce_execution_config",
+    "resolve_execution",
+    "DEFAULT_ALGORITHMS",
+    "Algorithm",
+    "AlgorithmRegistry",
+    "get_algorithm",
+]

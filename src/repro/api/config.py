@@ -1,0 +1,385 @@
+"""The unified run configuration: :class:`ExecutionConfig` + :func:`resolve_execution`.
+
+Before this layer existed, every entry point threaded three orthogonal
+execution axes -- ``backend="reference"|"vectorized"``,
+``engine="auto"|"dense"|"sparse"``, ``strategy="skeleton"|"clustered"`` --
+plus the collision model and the round-budget knobs (``parameters`` /
+``margin``) as separate keyword arguments, and every new axis meant
+touching every call site.  :class:`ExecutionConfig` collapses the web
+into one validated, immutable value object that `Compete`, `broadcast`,
+`elect_leader`, `decay_broadcast`, `VectorizedCompeteEngine` and the
+benchmark subsystem all accept as a single ``config=``:
+
+>>> from repro.api import ExecutionConfig
+>>> config = ExecutionConfig(backend="vectorized", engine="sparse")
+>>> config.backend, config.engine, config.strategy
+('vectorized', 'sparse', 'skeleton')
+
+Configs are frozen; derive variants with :meth:`ExecutionConfig.replace`:
+
+>>> config.replace(strategy="clustered").strategy
+'clustered'
+>>> config.engine  # the original is untouched
+'sparse'
+
+:func:`resolve_execution` is the one shared path that turns a config plus
+a concrete graph into everything a run needs -- the derived
+:class:`~repro.core.parameters.CompeteParameters` round budget, the
+strategy compiled to a
+:class:`~repro.schedules.transmission.TransmissionSchedule`, the
+``"auto"`` engine resolved through the edge-density heuristic
+(:func:`repro.simulation.sparse.select_engine` -- applied here and only
+here for internal callers, so the dense/sparse crossover has a single
+source of truth), and the normalised collision model.  The per-node
+seeding policy (the ``DrawStreams`` replay and its pre-draw block size)
+also lives behind it: :meth:`ResolvedExecution.build_engine` constructs
+the vectorized engine with the config's ``draw_block`` and the already
+concrete kernel.
+
+The legacy per-function kwargs keep working for one release through
+:func:`coerce_execution_config`, which emits a single
+:class:`DeprecationWarning` per call and builds the equivalent config --
+so old call sites produce bit-for-bit identical runs while they migrate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Any, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+from repro.network.radio import CollisionModel
+from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
+from repro.core.compete import (
+    BACKENDS,
+    STRATEGIES,
+    CompeteStrategy,
+    resolve_strategy,
+)
+from repro.schedules.transmission import TransmissionSchedule
+from repro.simulation.sparse import resolve_engine
+from repro.simulation.vectorized import (
+    DEFAULT_DRAW_BLOCK,
+    ENGINES,
+    VectorizedCompeteEngine,
+)
+from repro.topology.validation import validate_radio_topology
+
+#: Seed policies: how per-(trial, node) randomness is produced.
+#: ``"replay"`` replays the reference runner's ``SeedSequence.spawn``
+#: streams for round-exact backend parity; a future decoupled fast-RNG
+#: mode (see ROADMAP) will register here.
+RNG_POLICIES = ("replay",)
+
+_COLLISION_BY_NAME = {model.value: model for model in CollisionModel}
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionConfig:
+    """Validated, immutable description of *how* a run executes.
+
+    One config object covers every execution axis that used to be a
+    separate keyword argument; it is independent of *what* runs (the
+    graph, candidates, seeds), so one instance can drive many runs.
+
+    Attributes
+    ----------
+    backend:
+        ``"reference"`` (per-node protocols through the pure-Python
+        :class:`~repro.simulation.runner.ProtocolRunner`) or
+        ``"vectorized"`` (the round-exact NumPy batch engine).
+    engine:
+        Kernel selector for the vectorized backend: ``"auto"`` (the
+        edge-density heuristic), ``"dense"`` or ``"sparse"``.  Ignored
+        by the reference backend.
+    strategy:
+        The Compete inner-loop strategy: a registered name
+        (:data:`repro.core.compete.STRATEGIES`) or a custom
+        :class:`~repro.core.compete.CompeteStrategy` instance.
+    collision_model:
+        The radio model's collision semantics; accepts the enum or its
+        string value (``"no-detection"`` / ``"with-detection"``) and is
+        normalised to the enum.
+    parameters:
+        Explicit round budget (:class:`CompeteParameters`); ``None``
+        derives it from the graph at resolution time.  Graph-specific,
+        so configs carrying it only fit graphs of that size.
+    margin:
+        Multiplier on ``D + log2 n`` for the derived round budget
+        (ignored when ``parameters`` is given).
+    draw_block:
+        Pre-draw block size of the vectorized backend's
+        :class:`~repro.simulation.vectorized.DrawStreams` replay.
+    rng:
+        Seed policy, one of :data:`RNG_POLICIES` (currently only the
+        reference-parity ``"replay"`` stream replay).
+    """
+
+    backend: str = "reference"
+    engine: str = "auto"
+    strategy: Union[str, CompeteStrategy] = "skeleton"
+    collision_model: Union[str, CollisionModel] = CollisionModel.NO_DETECTION
+    parameters: Optional[CompeteParameters] = None
+    margin: float = DEFAULT_MARGIN
+    draw_block: int = DEFAULT_DRAW_BLOCK
+    rng: str = "replay"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if not isinstance(self.strategy, CompeteStrategy) and (
+            self.strategy not in STRATEGIES
+        ):
+            raise ConfigurationError(
+                f"strategy must be one of {STRATEGIES} or a CompeteStrategy "
+                f"instance, got {self.strategy!r}"
+            )
+        if isinstance(self.collision_model, str):
+            try:
+                normalised = _COLLISION_BY_NAME[self.collision_model]
+            except KeyError:
+                raise ConfigurationError(
+                    "collision_model must be a CollisionModel or one of "
+                    f"{sorted(_COLLISION_BY_NAME)}, got "
+                    f"{self.collision_model!r}"
+                ) from None
+            object.__setattr__(self, "collision_model", normalised)
+        elif not isinstance(self.collision_model, CollisionModel):
+            raise ConfigurationError(
+                "collision_model must be a CollisionModel or its string "
+                f"value, got {type(self.collision_model).__name__}"
+            )
+        if self.parameters is not None and not isinstance(
+            self.parameters, CompeteParameters
+        ):
+            raise ConfigurationError(
+                "parameters must be a CompeteParameters or None, got "
+                f"{type(self.parameters).__name__}"
+            )
+        if not self.margin > 0:
+            raise ConfigurationError(
+                f"margin must be > 0, got {self.margin}"
+            )
+        if self.draw_block < 1:
+            raise ConfigurationError(
+                f"draw_block must be >= 1, got {self.draw_block}"
+            )
+        if self.rng not in RNG_POLICIES:
+            raise ConfigurationError(
+                f"rng must be one of {RNG_POLICIES}, got {self.rng!r}"
+            )
+
+    @property
+    def strategy_name(self) -> str:
+        """The strategy's short name (recorded on results/artifacts)."""
+        if isinstance(self.strategy, CompeteStrategy):
+            return self.strategy.name
+        return self.strategy
+
+    def strategy_instance(self) -> CompeteStrategy:
+        """The strategy as a :class:`CompeteStrategy` instance."""
+        return resolve_strategy(self.strategy)
+
+    def replace(self, **changes: Any) -> "ExecutionConfig":
+        """A new config with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """The config's execution axes as a JSON-friendly dict."""
+        return {
+            "backend": self.backend,
+            "engine": self.engine,
+            "strategy": self.strategy_name,
+            "collision_model": self.collision_model.value,
+            "margin": self.margin,
+            "rng": self.rng,
+        }
+
+
+class ResolvedExecution:
+    """An :class:`ExecutionConfig` bound to one concrete graph.
+
+    Produced by :func:`resolve_execution`; holds everything downstream
+    code needs to run: the validated graph, the derived (or supplied)
+    round budget, the strategy instance, the concrete vectorized kernel
+    (``"auto"`` already resolved through the density heuristic), and --
+    built lazily, because cluster decomposition is not free -- the
+    compiled :class:`TransmissionSchedule`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: ExecutionConfig,
+        parameters: CompeteParameters,
+        strategy: CompeteStrategy,
+        engine: str,
+    ) -> None:
+        self._graph = graph
+        self._config = config
+        self._parameters = parameters
+        self._strategy = strategy
+        self._engine = engine
+        self._schedule: Optional[TransmissionSchedule] = None
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self._config
+
+    @property
+    def parameters(self) -> CompeteParameters:
+        """The run's round budget."""
+        return self._parameters
+
+    @property
+    def strategy(self) -> CompeteStrategy:
+        """The resolved strategy instance."""
+        return self._strategy
+
+    @property
+    def collision_model(self) -> CollisionModel:
+        return self._config.collision_model
+
+    @property
+    def backend(self) -> str:
+        return self._config.backend
+
+    @property
+    def engine(self) -> str:
+        """The concrete vectorized kernel (never ``"auto"``)."""
+        return self._engine
+
+    @property
+    def schedule(self) -> TransmissionSchedule:
+        """The strategy's compiled schedule (built on first access)."""
+        if self._schedule is None:
+            self._schedule = self._strategy.build_schedule(
+                self._graph, self._parameters
+            )
+        return self._schedule
+
+    def build_engine(self) -> VectorizedCompeteEngine:
+        """Construct the vectorized engine this resolution describes.
+
+        The engine receives the already-resolved concrete kernel, so the
+        density heuristic is applied exactly once, in
+        :func:`resolve_execution`.
+        """
+        return VectorizedCompeteEngine(
+            self._graph,
+            schedule=self.schedule,
+            max_rounds=self._parameters.total_rounds,
+            engine=self._engine,
+            draw_block=self._config.draw_block,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResolvedExecution(backend={self.backend!r}, "
+            f"engine={self._engine!r}, strategy={self._strategy.name!r}, "
+            f"n={self._graph.num_nodes})"
+        )
+
+
+def resolve_execution(
+    graph: Graph,
+    config: Optional[ExecutionConfig] = None,
+    *,
+    parameters: Optional[CompeteParameters] = None,
+    diameter: Optional[int] = None,
+) -> ResolvedExecution:
+    """Bind ``config`` (default :class:`ExecutionConfig()`) to ``graph``.
+
+    This is the single shared resolution path: topology validation, the
+    round-budget derivation, strategy lookup, and -- crucially -- the
+    ``"auto"`` engine decision all happen here, so every caller agrees
+    on the dense/sparse crossover.
+
+    Parameters
+    ----------
+    graph:
+        A connected radio-network topology.
+    config:
+        The execution description; ``None`` means all defaults.
+    parameters:
+        Explicit round budget, overriding ``config.parameters``; useful
+        when the caller already knows the diameter.
+    diameter:
+        Skip the exact diameter computation when deriving parameters
+        (forwarded to :meth:`CompeteParameters.from_graph`).
+
+    >>> from repro import topology
+    >>> resolved = resolve_execution(topology.path_graph(8))
+    >>> resolved.engine, resolved.strategy.name
+    ('dense', 'skeleton')
+    """
+    if config is None:
+        config = ExecutionConfig()
+    validate_radio_topology(graph)
+    if parameters is None:
+        parameters = config.parameters
+    if parameters is None:
+        parameters = CompeteParameters.from_graph(
+            graph, diameter=diameter, margin=config.margin
+        )
+    elif parameters.num_nodes != graph.num_nodes:
+        raise ConfigurationError(
+            f"parameters are for n={parameters.num_nodes} but the graph "
+            f"has n={graph.num_nodes}"
+        )
+    strategy = config.strategy_instance()
+    engine = resolve_engine(config.engine, graph.num_nodes, graph.num_edges)
+    return ResolvedExecution(graph, config, parameters, strategy, engine)
+
+
+def coerce_execution_config(
+    config: Optional[ExecutionConfig],
+    *,
+    where: str,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> ExecutionConfig:
+    """The deprecation shim behind the old per-function kwargs.
+
+    ``legacy`` holds the old keyword arguments (``backend=``,
+    ``engine=``, ``strategy=``, ``collision_model=``, ``margin=``) with
+    ``None`` meaning "not passed".  When none were passed, ``config``
+    (or a default :class:`ExecutionConfig`) is returned untouched.  When
+    any were, exactly **one** :class:`DeprecationWarning` is emitted --
+    naming every legacy kwarg used and the replacement -- and the
+    equivalent config is built, so old call sites keep producing
+    seed-identical results.  Mixing ``config=`` with legacy kwargs is an
+    error rather than a silent precedence rule.
+    """
+    used = {key: value for key, value in legacy.items() if value is not None}
+    if not used:
+        return config if config is not None else ExecutionConfig()
+    if config is not None:
+        raise ConfigurationError(
+            f"{where}: pass either config= or the deprecated "
+            f"{sorted(used)} keyword(s), not both"
+        )
+    names = ", ".join(f"{key}=" for key in sorted(used))
+    replacement = ", ".join(
+        f"{key}={value!r}" for key, value in sorted(used.items())
+    )
+    warnings.warn(
+        f"{where}: the {names} keyword(s) are deprecated and will be "
+        f"removed in the next release; pass "
+        f"config=ExecutionConfig({replacement}) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return ExecutionConfig(**used)

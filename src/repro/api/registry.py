@@ -1,0 +1,318 @@
+"""The algorithm registry: named algorithms with declared capabilities.
+
+Scenarios, the benchmark runner and the CLI used to dispatch on
+hard-coded ``if algorithm == "broadcast" ... elif ...`` chains, so a new
+baseline protocol meant edits across five modules.  This module makes
+the algorithm a first-class registered object: an :class:`Algorithm`
+bundles the entry points (single-seed ``run``, optional batched
+``run_batch``) with the *capabilities* callers must respect -- which
+collision models the protocol supports, whether it can (or must) run
+with spontaneous transmissions, and which extra per-trial series its
+results report.  :data:`DEFAULT_ALGORITHMS` holds the built-ins:
+
+* ``"broadcast"`` -- Compete-based broadcasting (the paper's algorithm),
+* ``"leader-election"`` -- ~1/n self-selection + Compete on random IDs,
+* ``"decay-broadcast"`` -- the classical repeated-Decay baseline
+  (:mod:`repro.core.decay_broadcast`), registered through the same seam
+  a future Ghaffari--Haeupler--Khabbazian collision-detection baseline
+  will use.
+
+Adding a baseline is now a self-contained plugin: implement the
+algorithm against :class:`~repro.api.config.ExecutionConfig`, build an
+:class:`Algorithm` record, and ``DEFAULT_ALGORITHMS.register(...)`` it
+-- scenarios and the CLI pick it up by name with no dispatch edits.
+
+>>> sorted(DEFAULT_ALGORITHMS.names())
+['broadcast', 'decay-broadcast', 'leader-election']
+>>> DEFAULT_ALGORITHMS.get("decay-broadcast").supports_spontaneous
+False
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.network.graph import Graph
+from repro.network.radio import CollisionModel
+from repro.api.config import ExecutionConfig
+from repro.core.broadcast import broadcast, broadcast_batch
+from repro.core.decay_broadcast import decay_broadcast, decay_broadcast_batch
+from repro.core.leader_election import elect_leader
+
+
+@dataclasses.dataclass(frozen=True)
+class Algorithm:
+    """One registered algorithm: entry points plus declared capabilities.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also what scenarios and the CLI dispatch on.
+    description:
+        One line shown by ``python -m repro.experiments algorithms``.
+    run:
+        ``run(graph, *, config, seed, spontaneous)`` -> result object.
+        Implementations pick their own conventions for anything further
+        (e.g. the broadcast source defaults to the graph's first node).
+    run_batch:
+        Optional ``run_batch(graph, *, config, seeds, spontaneous)`` ->
+        list of results, for algorithms whose trials batch on the
+        vectorized backend; ``None`` falls back to per-seed ``run``
+        calls.
+    collision_models:
+        The collision semantics the protocol is defined for.
+    supports_spontaneous / requires_spontaneous:
+        Whether the algorithm *may* and *must* run with uninformed nodes
+        transmitting from round 0 (the paper's model).  The classical
+        baselines set ``supports_spontaneous=False``.
+    spontaneous_default:
+        What ``spontaneous=None`` resolves to when dispatching.
+    extra_series:
+        Additional per-trial result attributes the benchmark aggregator
+        summarises (e.g. ``("attempts",)`` for leader election).
+    """
+
+    name: str
+    description: str
+    run: Callable[..., Any]
+    run_batch: Optional[Callable[..., Any]] = None
+    collision_models: frozenset = frozenset(CollisionModel)
+    supports_spontaneous: bool = True
+    requires_spontaneous: bool = False
+    spontaneous_default: bool = False
+    extra_series: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("algorithm name must be non-empty")
+        if not self.collision_models:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} must support at least one "
+                "collision model"
+            )
+        if self.requires_spontaneous and not self.supports_spontaneous:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} cannot require spontaneous "
+                "transmissions while not supporting them"
+            )
+
+    def check(
+        self, *, collision_model: CollisionModel, spontaneous: bool
+    ) -> None:
+        """Raise unless this capability combination is declared supported."""
+        if collision_model not in self.collision_models:
+            supported = sorted(m.value for m in self.collision_models)
+            raise ConfigurationError(
+                f"algorithm {self.name!r} does not support collision model "
+                f"{collision_model.value!r} (supported: {supported})"
+            )
+        if spontaneous and not self.supports_spontaneous:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} does not support spontaneous "
+                "transmissions (it models the classical regime)"
+            )
+        if not spontaneous and self.requires_spontaneous:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} requires spontaneous transmissions"
+            )
+
+
+class AlgorithmRegistry:
+    """A named collection of :class:`Algorithm` records.
+
+    The module-level :data:`DEFAULT_ALGORITHMS` holds the built-ins;
+    tests and downstream code can build private registries.
+    """
+
+    def __init__(self) -> None:
+        self._algorithms: dict[str, Algorithm] = {}
+
+    def register(self, algorithm: Algorithm) -> Algorithm:
+        """Add ``algorithm``; duplicate names are rejected."""
+        if algorithm.name in self._algorithms:
+            raise ConfigurationError(
+                f"algorithm {algorithm.name!r} is already registered"
+            )
+        self._algorithms[algorithm.name] = algorithm
+        return algorithm
+
+    def get(self, name: str) -> Algorithm:
+        """Look up an algorithm by exact name."""
+        try:
+            return self._algorithms[name]
+        except KeyError:
+            hint = ", ".join(sorted(self._algorithms)) or "(registry is empty)"
+            raise ConfigurationError(
+                f"unknown algorithm {name!r}; registered algorithms: {hint}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names in registration order."""
+        return tuple(self._algorithms)
+
+    def run(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        config: Optional[ExecutionConfig] = None,
+        seed: Optional[int] = None,
+        spontaneous: Optional[bool] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Dispatch one seeded run to the named algorithm.
+
+        ``spontaneous=None`` resolves to the algorithm's declared
+        default; the capability check runs before any work.
+
+        >>> from repro import topology
+        >>> result = DEFAULT_ALGORITHMS.run(
+        ...     "decay-broadcast", topology.star_graph(6), seed=0)
+        >>> result.success
+        True
+        """
+        algorithm = self.get(name)
+        if config is None:
+            config = ExecutionConfig()
+        if spontaneous is None:
+            spontaneous = algorithm.spontaneous_default
+        algorithm.check(
+            collision_model=config.collision_model, spontaneous=spontaneous
+        )
+        return algorithm.run(
+            graph, config=config, seed=seed, spontaneous=spontaneous, **kwargs
+        )
+
+    def run_batch(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        seeds,
+        config: Optional[ExecutionConfig] = None,
+        spontaneous: Optional[bool] = None,
+        **kwargs: Any,
+    ) -> list:
+        """Dispatch a batch of seeded trials to the named algorithm.
+
+        Uses the algorithm's batched entry point when it has one (the
+        trials share one vectorized engine), falling back to per-seed
+        :meth:`run` calls otherwise.
+        """
+        algorithm = self.get(name)
+        if config is None:
+            config = ExecutionConfig()
+        if spontaneous is None:
+            spontaneous = algorithm.spontaneous_default
+        algorithm.check(
+            collision_model=config.collision_model, spontaneous=spontaneous
+        )
+        if algorithm.run_batch is not None:
+            return algorithm.run_batch(
+                graph, config=config, seeds=seeds, spontaneous=spontaneous,
+                **kwargs,
+            )
+        return [
+            algorithm.run(
+                graph, config=config, seed=seed, spontaneous=spontaneous,
+                **kwargs,
+            )
+            for seed in seeds
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._algorithms
+
+    def __len__(self) -> int:
+        return len(self._algorithms)
+
+    def __iter__(self) -> Iterator[Algorithm]:
+        return iter(self._algorithms.values())
+
+
+# ----------------------------------------------------------------------
+# built-in algorithms
+# ----------------------------------------------------------------------
+def _default_source(graph: Graph, source) -> Any:
+    return graph.nodes()[0] if source is None else source
+
+
+def _run_broadcast(graph, *, config, seed, spontaneous, source=None):
+    return broadcast(
+        graph, _default_source(graph, source), seed=seed,
+        spontaneous=spontaneous, config=config,
+    )
+
+
+def _run_broadcast_batch(graph, *, config, seeds, spontaneous, source=None):
+    return broadcast_batch(
+        graph, _default_source(graph, source), seeds=seeds,
+        spontaneous=spontaneous, config=config,
+    )
+
+
+def _run_election(graph, *, config, seed, spontaneous):
+    return elect_leader(
+        graph, seed=seed, spontaneous=spontaneous, config=config
+    )
+
+
+def _run_decay_broadcast(graph, *, config, seed, spontaneous, source=None):
+    return decay_broadcast(
+        graph, _default_source(graph, source), seed=seed,
+        spontaneous=spontaneous, config=config,
+    )
+
+
+def _run_decay_broadcast_batch(
+    graph, *, config, seeds, spontaneous, source=None
+):
+    return decay_broadcast_batch(
+        graph, _default_source(graph, source), seeds=seeds,
+        spontaneous=spontaneous, config=config,
+    )
+
+
+#: The built-in algorithm registry scenarios and the CLI dispatch through.
+DEFAULT_ALGORITHMS = AlgorithmRegistry()
+
+DEFAULT_ALGORITHMS.register(Algorithm(
+    name="broadcast",
+    description=(
+        "Compete-based broadcasting (the paper's algorithm; spontaneous "
+        "transmissions on by default)"
+    ),
+    run=_run_broadcast,
+    run_batch=_run_broadcast_batch,
+    spontaneous_default=True,
+))
+
+DEFAULT_ALGORITHMS.register(Algorithm(
+    name="leader-election",
+    description=(
+        "~1/n candidate self-selection + Compete on random identifiers, "
+        "retried until a unique leader saturates"
+    ),
+    run=_run_election,
+    spontaneous_default=False,
+    extra_series=("attempts",),
+))
+
+DEFAULT_ALGORITHMS.register(Algorithm(
+    name="decay-broadcast",
+    description=(
+        "classical repeated-Decay broadcast (Bar-Yehuda-Goldreich-Itai), "
+        "the no-spontaneous-transmissions baseline"
+    ),
+    run=_run_decay_broadcast,
+    run_batch=_run_decay_broadcast_batch,
+    supports_spontaneous=False,
+    spontaneous_default=False,
+))
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Look up ``name`` in :data:`DEFAULT_ALGORITHMS`."""
+    return DEFAULT_ALGORITHMS.get(name)

@@ -56,7 +56,13 @@ from repro.core.compete import (
     compete,
     resolve_strategy,
 )
-from repro.core.broadcast import BroadcastResult, broadcast
+from repro.core.broadcast import BroadcastResult, broadcast, broadcast_batch
+from repro.core.decay_broadcast import (
+    DecayBroadcastResult,
+    DecayRelayProtocol,
+    decay_broadcast,
+    decay_broadcast_batch,
+)
 from repro.core.leader_election import LeaderElectionResult, elect_leader
 
 __all__ = [
@@ -80,6 +86,11 @@ __all__ = [
     "resolve_strategy",
     "BroadcastResult",
     "broadcast",
+    "broadcast_batch",
+    "DecayBroadcastResult",
+    "DecayRelayProtocol",
+    "decay_broadcast",
+    "decay_broadcast_batch",
     "LeaderElectionResult",
     "elect_leader",
 ]

@@ -19,7 +19,7 @@ from repro.network.messages import Message
 from repro.network.metrics import NetworkMetrics
 from repro.network.radio import CollisionModel
 from repro.core.compete import Compete, CompeteResult, CompeteStrategy
-from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
+from repro.core.parameters import CompeteParameters
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,12 +68,13 @@ def broadcast(
     *,
     seed: Optional[int] = None,
     spontaneous: bool = True,
+    config=None,
     parameters: Optional[CompeteParameters] = None,
-    margin: float = DEFAULT_MARGIN,
-    collision_model: CollisionModel = CollisionModel.NO_DETECTION,
-    strategy: Union[str, CompeteStrategy] = "skeleton",
-    backend: str = "reference",
-    engine: str = "auto",
+    margin: Optional[float] = None,
+    collision_model: Optional[CollisionModel] = None,
+    strategy: Optional[Union[str, CompeteStrategy]] = None,
+    backend: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> BroadcastResult:
     """Broadcast a message from ``source`` to every node of ``graph``.
 
@@ -90,34 +91,76 @@ def broadcast(
         When True (the default, and the paper's model), uninformed nodes
         also transmit dummy messages from round 0; set False for the
         classical conservative model where only informed nodes speak.
-    parameters / margin / collision_model / strategy / backend / engine:
-        Forwarded to :class:`~repro.core.compete.Compete`; ``strategy``
-        selects the inner-loop schedule (``"skeleton"`` or
-        ``"clustered"``), ``backend`` the per-node reference runner or
-        the round-exact vectorized engine, and ``engine`` the vectorized
-        backend's kernel (``"auto"``/``"dense"``/``"sparse"``) -- all
-        three axes are orthogonal.
+    config:
+        The :class:`~repro.api.config.ExecutionConfig` selecting
+        backend, vectorized kernel, strategy, collision model and round
+        budget; ``None`` means all defaults.
+    parameters:
+        Explicit schedule lengths, overriding the config's derived
+        budget.
+    margin / collision_model / strategy / backend / engine:
+        **Deprecated** pre-config keywords (one ``DeprecationWarning``
+        per call, seed-identical results); see
+        :func:`repro.api.config.coerce_execution_config`.
 
     >>> from repro import topology
     >>> result = broadcast(topology.star_graph(8), source=0, seed=1)
     >>> result.success
     True
     """
-    if source not in graph:
-        raise ConfigurationError(f"source node {source!r} is not in the graph")
-    primitive = Compete(
-        graph,
-        parameters=parameters,
+    from repro.api.config import coerce_execution_config
+
+    config = coerce_execution_config(
+        config,
+        where="broadcast()",
         margin=margin,
         collision_model=collision_model,
         strategy=strategy,
         backend=backend,
         engine=engine,
     )
+    if source not in graph:
+        raise ConfigurationError(f"source node {source!r} is not in the graph")
+    primitive = Compete(graph, config=config, parameters=parameters)
     message = Message(value=1, source=source)
     compete_result = primitive.run(
         {source: message}, seed=seed, spontaneous=spontaneous
     )
+    return _wrap(source, message, compete_result)
+
+
+def broadcast_batch(
+    graph: Graph,
+    source: Any,
+    *,
+    seeds,
+    spontaneous: bool = True,
+    config=None,
+    parameters: Optional[CompeteParameters] = None,
+) -> list[BroadcastResult]:
+    """One seeded broadcast per entry of ``seeds``, batched.
+
+    All trials run simultaneously through the vectorized engine
+    (regardless of ``config.backend``, which only governs single-seed
+    :func:`broadcast` calls); each returned :class:`BroadcastResult` is
+    identical to the corresponding single-seed reference run.
+    """
+    from repro.api.config import coerce_execution_config
+
+    config = coerce_execution_config(config, where="broadcast_batch()")
+    if source not in graph:
+        raise ConfigurationError(f"source node {source!r} is not in the graph")
+    primitive = Compete(graph, config=config, parameters=parameters)
+    message = Message(value=1, source=source)
+    compete_results = primitive.run_batch(
+        {source: message}, seeds=seeds, spontaneous=spontaneous
+    )
+    return [_wrap(source, message, result) for result in compete_results]
+
+
+def _wrap(source: Any, message: Message, compete_result: CompeteResult
+          ) -> BroadcastResult:
+    """Interpret one Compete outcome as a broadcast outcome."""
     num_informed = sum(
         1
         for best in compete_result.final_messages.values()

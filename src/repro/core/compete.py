@@ -50,8 +50,12 @@ the vectorized backend.  The vectorized backend itself has two
 bit-for-bit equivalent kernel **engines** -- the dense adjacency-matrix
 path and the sparse CSR path, which ``engine="auto"`` selects above
 ~10^3 nodes on sparse topologies and which opens the ``n >= 10^4``
-scenarios -- a third orthogonal axis, selected by
-``engine="auto"|"dense"|"sparse"`` (see :mod:`repro.simulation.sparse`).
+scenarios -- a third orthogonal axis (see :mod:`repro.simulation.sparse`).
+
+All three axes, together with the collision model and the round-budget
+margin, are carried by one :class:`~repro.api.config.ExecutionConfig`
+passed as ``Compete(graph, config=...)``; the old per-axis keyword
+arguments remain as deprecation shims for one release.
 """
 
 from __future__ import annotations
@@ -80,13 +84,11 @@ from repro.schedules.transmission import (
 )
 from repro.simulation.runner import ProtocolRunner, spawn_node_rngs
 from repro.simulation.vectorized import (
-    ENGINES,
     NO_MESSAGE,
     VectorizedCompeteEngine,
     rank_messages,
 )
-from repro.topology.validation import validate_radio_topology
-from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
+from repro.core.parameters import CompeteParameters
 
 #: Candidate specifications accepted by :meth:`Compete.run`: a mapping
 #: from node to either a ready-made :class:`Message` or a plain integer
@@ -332,75 +334,67 @@ class Compete:
         A connected radio-network topology
         (:func:`~repro.topology.validation.validate_radio_topology` is
         applied eagerly).
+    config:
+        The :class:`~repro.api.config.ExecutionConfig` describing every
+        execution axis -- backend, vectorized kernel (engine), strategy,
+        collision model, round-budget margin and seed policy.  ``None``
+        means all defaults (reference backend, auto engine, skeleton
+        strategy, no collision detection).
     parameters:
-        Explicit schedule lengths; derived from the graph via
-        :meth:`CompeteParameters.from_graph` when omitted.
-    margin:
-        Margin for the derived schedule (ignored when ``parameters`` is
-        given).
-    collision_model:
-        Collision semantics for the underlying network.
-    strategy:
-        The inner-loop transmission strategy: ``"skeleton"`` (default),
-        ``"clustered"``, or any :class:`CompeteStrategy` instance.
-        Orthogonal to ``backend`` -- every strategy runs on either
-        backend with identical results.
-    backend:
-        ``"reference"`` (default) drives per-node protocols through
-        :class:`~repro.simulation.runner.ProtocolRunner`; ``"vectorized"``
-        runs the round-exact equivalent array simulation
-        (:class:`~repro.simulation.vectorized.VectorizedCompeteEngine`).
-        Either way the same seed yields the same :class:`CompeteResult`.
-    engine:
-        Kernel selector for the vectorized backend: ``"auto"`` (the
-        default; picks by the edge-density heuristic of
-        :func:`repro.simulation.sparse.select_engine`), ``"dense"`` (the
-        adjacency-matrix matmul path) or ``"sparse"`` (the CSR
-        segment-sum path that scales to ``n >= 10^4``).  The kernels are
-        bit-for-bit equivalent, so this axis -- like ``backend`` -- is
-        invisible in the results.  Ignored by the reference backend.
+        Explicit schedule lengths, overriding both the config's
+        ``parameters`` field and the graph-derived budget; useful when
+        the caller already knows the diameter.
+    margin / collision_model / strategy / backend / engine:
+        **Deprecated** -- the pre-``ExecutionConfig`` keyword arguments,
+        kept working for one release.  Passing any of them emits a
+        single :class:`DeprecationWarning` and builds the equivalent
+        config (results are seed-identical); mixing them with
+        ``config=`` is an error.
     """
 
     def __init__(
         self,
         graph: Graph,
         *,
+        config=None,
         parameters: Optional[CompeteParameters] = None,
-        margin: float = DEFAULT_MARGIN,
-        collision_model: CollisionModel = CollisionModel.NO_DETECTION,
-        strategy: Union[str, CompeteStrategy] = "skeleton",
-        backend: str = "reference",
-        engine: str = "auto",
+        margin: Optional[float] = None,
+        collision_model: Optional[CollisionModel] = None,
+        strategy: Optional[Union[str, CompeteStrategy]] = None,
+        backend: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> None:
-        validate_radio_topology(graph)
-        if parameters is None:
-            parameters = CompeteParameters.from_graph(graph, margin=margin)
-        elif parameters.num_nodes != graph.num_nodes:
-            raise ConfigurationError(
-                f"parameters are for n={parameters.num_nodes} but the graph "
-                f"has n={graph.num_nodes}"
-            )
-        if backend not in BACKENDS:
-            raise ConfigurationError(
-                f"backend must be one of {BACKENDS}, got {backend!r}"
-            )
-        if engine not in ENGINES:
-            raise ConfigurationError(
-                f"engine must be one of {ENGINES}, got {engine!r}"
-            )
+        # api sits above core in the layering, so the import is local.
+        from repro.api.config import coerce_execution_config, resolve_execution
+
+        config = coerce_execution_config(
+            config,
+            where="Compete",
+            margin=margin,
+            collision_model=collision_model,
+            strategy=strategy,
+            backend=backend,
+            engine=engine,
+        )
+        self._resolve_execution = resolve_execution
         self._graph = graph
-        self._parameters = parameters
-        self._collision_model = collision_model
-        self._strategy = resolve_strategy(strategy)
-        self._backend = backend
-        self._engine = engine
+        self._config = config
+        resolved = resolve_execution(graph, config, parameters=parameters)
+        self._parameters = resolved.parameters
+        self._strategy = resolved.strategy
+        self._collision_model = resolved.collision_model
         # The strategy's schedule and the vectorized engine both depend
-        # on the topology, so they are cached against an adjacency
-        # snapshot: mutating the graph between runs rebuilds them rather
-        # than silently simulating a stale topology.
-        self._cache_adjacency: Optional[Mapping] = None
-        self._cache_schedule: Optional[TransmissionSchedule] = None
+        # on the topology, so the resolution is cached against an
+        # adjacency snapshot: mutating the graph between runs re-resolves
+        # rather than silently simulating a stale topology.
+        self._cache_adjacency: Optional[Mapping] = graph.adjacency()
+        self._cache_resolved = resolved
         self._cache_engine: Optional[VectorizedCompeteEngine] = None
+
+    @property
+    def config(self):
+        """The :class:`~repro.api.config.ExecutionConfig` this runs under."""
+        return self._config
 
     @property
     def parameters(self) -> CompeteParameters:
@@ -415,25 +409,21 @@ class Compete:
     @property
     def backend(self) -> str:
         """The default execution backend of :meth:`run`."""
-        return self._backend
+        return self._config.backend
 
     @property
     def engine(self) -> str:
         """The requested vectorized kernel (possibly ``"auto"``)."""
-        return self._engine
+        return self._config.engine
 
     def selected_engine(self) -> str:
         """The kernel the vectorized backend resolves to for this graph.
 
-        Resolves ``"auto"`` through the density heuristic without
+        Resolves ``"auto"`` through the shared density heuristic without
         building the engine (construction densifies the matrix, which is
         exactly what the heuristic may be avoiding).
         """
-        from repro.simulation.sparse import resolve_engine
-
-        return resolve_engine(
-            self._engine, self._graph.num_nodes, self._graph.num_edges
-        )
+        return self._resolved().engine
 
     def run(
         self,
@@ -460,10 +450,21 @@ class Compete:
             When True, non-candidate nodes participate from round 0 with
             a dummy message ranked strictly below every candidate.
         backend:
-            Override the instance's execution backend for this run.
+            **Deprecated** per-run backend override; construct the
+            instance with ``config=ExecutionConfig(backend=...)``
+            instead.
         """
         if backend is None:
-            backend = self._backend
+            backend = self._config.backend
+        else:
+            import warnings
+
+            warnings.warn(
+                "Compete.run(backend=...) is deprecated; construct Compete "
+                "with config=ExecutionConfig(backend=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
@@ -621,27 +622,26 @@ class Compete:
                     initial[node] = Message(value=dummy_value, source=node)
         return initial
 
-    def _schedule(self) -> TransmissionSchedule:
-        """The strategy's schedule for the graph's *current* topology."""
+    def _resolved(self):
+        """The config resolved against the graph's *current* topology."""
         adjacency = self._graph.adjacency()
-        if self._cache_schedule is None or adjacency != self._cache_adjacency:
-            self._cache_schedule = self._strategy.build_schedule(
-                self._graph, self._parameters
+        if adjacency != self._cache_adjacency:
+            self._cache_resolved = self._resolve_execution(
+                self._graph, self._config, parameters=self._parameters
             )
             self._cache_adjacency = adjacency
             self._cache_engine = None
-        return self._cache_schedule
+        return self._cache_resolved
+
+    def _schedule(self) -> TransmissionSchedule:
+        """The strategy's schedule for the graph's *current* topology."""
+        return self._resolved().schedule
 
     def _vectorized_engine(self) -> VectorizedCompeteEngine:
         """The lazily built (graph-and-schedule-bound) vectorized engine."""
-        schedule = self._schedule()
+        resolved = self._resolved()
         if self._cache_engine is None:
-            self._cache_engine = VectorizedCompeteEngine(
-                self._graph,
-                schedule=schedule,
-                max_rounds=self._parameters.total_rounds,
-                engine=self._engine,
-            )
+            self._cache_engine = resolved.build_engine()
         return self._cache_engine
 
     def _normalise_candidates(
@@ -676,12 +676,13 @@ def compete(
     *,
     seed: Optional[int] = None,
     spontaneous: bool = False,
+    config=None,
     parameters: Optional[CompeteParameters] = None,
-    margin: float = DEFAULT_MARGIN,
-    collision_model: CollisionModel = CollisionModel.NO_DETECTION,
-    strategy: Union[str, CompeteStrategy] = "skeleton",
-    backend: str = "reference",
-    engine: str = "auto",
+    margin: Optional[float] = None,
+    collision_model: Optional[CollisionModel] = None,
+    strategy: Optional[Union[str, CompeteStrategy]] = None,
+    backend: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> CompeteResult:
     """One-shot convenience wrapper around :class:`Compete`.
 
@@ -690,27 +691,36 @@ def compete(
     >>> result.success and result.winner.value == 20
     True
 
-    The two backends agree round for round under a shared seed:
+    How the race executes is one :class:`~repro.api.config.ExecutionConfig`
+    -- the backends agree round for round under a shared seed:
 
+    >>> from repro.api import ExecutionConfig
     >>> fast = compete(topology.star_graph(8), {1: 10, 2: 20}, seed=0,
-    ...                backend="vectorized")
+    ...                config=ExecutionConfig(backend="vectorized"))
     >>> (fast.rounds, fast.winner) == (result.rounds, result.winner)
     True
 
     ...and so do the strategies, each with its own schedule:
 
     >>> clustered = compete(topology.star_graph(8), {1: 10, 2: 20}, seed=0,
-    ...                     strategy="clustered")
+    ...                     config=ExecutionConfig(strategy="clustered"))
     >>> clustered.success and clustered.strategy
     'clustered'
+
+    The ``margin``/``collision_model``/``strategy``/``backend``/``engine``
+    keywords are the deprecated pre-config spelling (one
+    ``DeprecationWarning``, identical results).
     """
-    primitive = Compete(
-        graph,
-        parameters=parameters,
+    from repro.api.config import coerce_execution_config
+
+    config = coerce_execution_config(
+        config,
+        where="compete()",
         margin=margin,
         collision_model=collision_model,
         strategy=strategy,
         backend=backend,
         engine=engine,
     )
+    primitive = Compete(graph, config=config, parameters=parameters)
     return primitive.run(candidates, seed=seed, spontaneous=spontaneous)

@@ -29,7 +29,7 @@ from repro.network.messages import Message
 from repro.network.metrics import NetworkMetrics
 from repro.network.radio import CollisionModel
 from repro.core.compete import Compete, CompeteResult, CompeteStrategy
-from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
+from repro.core.parameters import CompeteParameters
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,12 +80,13 @@ def elect_leader(
     candidate_probability: Optional[float] = None,
     max_attempts: Optional[int] = None,
     spontaneous: bool = False,
+    config=None,
     parameters: Optional[CompeteParameters] = None,
-    margin: float = DEFAULT_MARGIN,
-    collision_model: CollisionModel = CollisionModel.NO_DETECTION,
-    strategy: Union[str, CompeteStrategy] = "skeleton",
-    backend: str = "reference",
-    engine: str = "auto",
+    margin: Optional[float] = None,
+    collision_model: Optional[CollisionModel] = None,
+    strategy: Optional[Union[str, CompeteStrategy]] = None,
+    backend: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> LeaderElectionResult:
     """Elect a unique leader known to every node of ``graph``.
 
@@ -104,16 +105,33 @@ def elect_leader(
         overall failure vanishingly unlikely.
     spontaneous:
         Forwarded to Compete (non-candidates transmitting dummies).
-    parameters / margin / collision_model / strategy / backend / engine:
-        Forwarded to :class:`~repro.core.compete.Compete`; the
-        strategy/backend/engine cells all yield identical elections for
-        the same master seed (per strategy).
+    config:
+        The :class:`~repro.api.config.ExecutionConfig` governing every
+        Compete attempt; all strategy/backend/engine cells yield
+        identical elections for the same master seed (per strategy).
+    parameters:
+        Explicit schedule lengths, overriding the config's derived
+        budget.
+    margin / collision_model / strategy / backend / engine:
+        **Deprecated** pre-config keywords (one ``DeprecationWarning``
+        per call, seed-identical results).
 
     >>> from repro import topology
     >>> result = elect_leader(topology.complete_graph(16), seed=3)
     >>> result.success and result.leader in topology.complete_graph(16)
     True
     """
+    from repro.api.config import coerce_execution_config
+
+    config = coerce_execution_config(
+        config,
+        where="elect_leader()",
+        margin=margin,
+        collision_model=collision_model,
+        strategy=strategy,
+        backend=backend,
+        engine=engine,
+    )
     num_nodes = graph.num_nodes
     if candidate_probability is None:
         candidate_probability = 1.0 / max(num_nodes, 1)
@@ -129,15 +147,7 @@ def elect_leader(
             f"max_attempts must be >= 1, got {max_attempts}"
         )
 
-    primitive = Compete(
-        graph,
-        parameters=parameters,
-        margin=margin,
-        collision_model=collision_model,
-        strategy=strategy,
-        backend=backend,
-        engine=engine,
-    )
+    primitive = Compete(graph, config=config, parameters=parameters)
     # The identifier space is polynomial in n, so identifiers collide only
     # with polynomially small probability; Message's source tie-break keeps
     # the winner unique even if they do.

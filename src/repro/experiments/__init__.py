@@ -33,13 +33,22 @@ from repro.experiments.persistence import (
     write_bench,
 )
 from repro.experiments.scenarios import (
-    ALGORITHMS,
     DEFAULT_REGISTRY,
     Scenario,
     ScenarioRegistry,
     get_scenario,
     iter_scenarios,
 )
+
+
+def __getattr__(name: str):
+    # Live view of the algorithm registry (see repro.experiments
+    # .scenarios.__getattr__): never a stale import-time snapshot.
+    if name == "ALGORITHMS":
+        from repro.experiments import scenarios
+
+        return scenarios.ALGORITHMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ALGORITHMS",

@@ -13,20 +13,18 @@ from __future__ import annotations
 import datetime
 import platform
 import time
+import warnings
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.network.messages import Message
 from repro.topology.validation import summarize_topology
-from repro.core.compete import Compete
-from repro.core.leader_election import LeaderElectionResult, elect_leader
+from repro.api import DEFAULT_ALGORITHMS, ExecutionConfig, resolve_execution
+from repro.core.leader_election import LeaderElectionResult
 from repro.core.parameters import CompeteParameters
 from repro.experiments.persistence import SCHEMA_VERSION
 from repro.experiments.scenarios import Scenario
-from repro.simulation.sparse import resolve_engine
-from repro.simulation.vectorized import ENGINES
 
 #: Reference trials re-run for timing/agreement unless overridden.
 DEFAULT_REFERENCE_TRIALS = 2
@@ -40,6 +38,7 @@ def run_benchmark(
     seed_batches: Optional[int] = None,
     reference_trials: Optional[int] = None,
     include_reference: bool = True,
+    config: Optional[ExecutionConfig] = None,
     engine: Optional[str] = None,
 ) -> dict[str, Any]:
     """Run ``scenario`` and return its schema-valid benchmark payload.
@@ -65,10 +64,16 @@ def run_benchmark(
     include_reference:
         Set False to skip the reference pass entirely -- faster, but the
         payload then carries no speedup and no agreement check.
+    config:
+        Override the scenario's execution axes wholesale with an
+        :class:`ExecutionConfig` (its ``backend`` is ignored: the
+        benchmark always measures the vectorized backend and re-checks
+        the reference).  Defaults to
+        :meth:`Scenario.execution_config`.
     engine:
-        Override the scenario's vectorized kernel selector
-        (``"auto"``/``"dense"``/``"sparse"``).  The payload's ``engine``
-        block records both the request and the kernel that actually ran.
+        **Deprecated** -- the pre-config kernel override; use
+        ``config=scenario.execution_config(engine=...)``.  One
+        :class:`DeprecationWarning`, identical behaviour.
 
     Raises
     ------
@@ -88,30 +93,43 @@ def run_benchmark(
         raise ConfigurationError(
             f"reference_trials must be >= 0, got {reference_trials}"
         )
+    if engine is not None:
+        if config is not None:
+            raise ConfigurationError(
+                "run_benchmark: pass either config= or the deprecated "
+                "engine= keyword, not both"
+            )
+        warnings.warn(
+            "run_benchmark(engine=...) is deprecated; pass "
+            "config=scenario.execution_config(engine=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = scenario.execution_config(engine=engine)
+    if config is None:
+        config = scenario.execution_config()
     num_trials = per_batch * num_batches
     base_seed = seed if seed is not None else scenario.seed
     seeds = [base_seed + index for index in range(num_trials)]
 
-    requested_engine = engine if engine is not None else scenario.engine
-    if requested_engine not in ENGINES:
-        raise ConfigurationError(
-            f"engine must be one of {ENGINES}, got {requested_engine!r}"
-        )
-
     graph = scenario.build_graph()
     summary = summarize_topology(graph)
-    parameters = CompeteParameters.from_graph(
-        graph, diameter=summary.diameter, margin=scenario.margin
-    )
-    # Resolve "auto" through the same resolver the engines themselves
-    # use, so the artifact records exactly the kernel that will run.
-    selected_engine = resolve_engine(
-        requested_engine, summary.num_nodes, summary.num_edges
-    )
+    # An explicit round budget on the config wins; otherwise derive it
+    # once with the already-computed diameter.
+    parameters = config.parameters
+    if parameters is None:
+        parameters = CompeteParameters.from_graph(
+            graph, diameter=summary.diameter, margin=config.margin
+        )
+    # One resolution records exactly the kernel that will run ("auto"
+    # applied through the same shared path the execution takes).
+    resolved = resolve_execution(graph, config, parameters=parameters)
+    requested_engine = config.engine
+    selected_engine = resolved.engine
 
     started = time.perf_counter()
     vectorized = _run_trials(
-        scenario, graph, parameters, seeds, "vectorized", requested_engine
+        scenario, graph, parameters, seeds, "vectorized", config
     )
     vectorized_seconds = time.perf_counter() - started
 
@@ -128,7 +146,7 @@ def run_benchmark(
         started = time.perf_counter()
         reference = _run_trials(
             scenario, graph, parameters, seeds[:num_reference], "reference",
-            requested_engine,
+            config,
         )
         reference_seconds = time.perf_counter() - started
         _check_agreement(scenario, vectorized[:num_reference], reference)
@@ -197,42 +215,26 @@ def _run_trials(
     parameters: CompeteParameters,
     seeds: Sequence[int],
     backend: str,
-    engine: str,
+    config: ExecutionConfig,
 ) -> list:
-    """Run every seed on one backend, batched where the backend allows."""
-    if scenario.algorithm == "broadcast":
-        primitive = Compete(
-            graph,
-            parameters=parameters,
-            collision_model=scenario.collision(),
-            strategy=scenario.strategy,
-            backend=backend,
-            engine=engine,
-        )
-        source = graph.nodes()[0]
-        candidates = {source: Message(value=1, source=source)}
-        if backend == "vectorized":
-            return primitive.run_batch(
-                candidates, seeds=seeds, spontaneous=scenario.spontaneous
-            )
-        return [
-            primitive.run(
-                candidates, seed=seed, spontaneous=scenario.spontaneous
-            )
-            for seed in seeds
-        ]
-    # Leader election retries internally, so trials stay per-seed calls;
-    # the backend choice still vectorizes every attempt's Compete run.
-    return [
-        elect_leader(
-            graph,
-            seed=seed,
+    """Run every seed through the registry, batched where possible.
+
+    Dispatch is by algorithm name via
+    :data:`repro.api.DEFAULT_ALGORITHMS` -- registering a new baseline
+    makes it benchmarkable with no edits here.  The pre-derived
+    ``parameters`` ride inside the config so the diameter is not
+    recomputed per trial.
+    """
+    run_config = config.replace(backend=backend, parameters=parameters)
+    if backend == "vectorized":
+        return DEFAULT_ALGORITHMS.run_batch(
+            scenario.algorithm, graph, seeds=seeds, config=run_config,
             spontaneous=scenario.spontaneous,
-            parameters=parameters,
-            collision_model=scenario.collision(),
-            strategy=scenario.strategy,
-            backend=backend,
-            engine=engine,
+        )
+    return [
+        DEFAULT_ALGORITHMS.run(
+            scenario.algorithm, graph, seed=seed, config=run_config,
+            spontaneous=scenario.spontaneous,
         )
         for seed in seeds
     ]
@@ -243,21 +245,24 @@ def _check_agreement(
 ) -> None:
     """Raise unless each reference trial matches its vectorized twin."""
     for index, (fast, slow) in enumerate(zip(vectorized, reference)):
+        same = (
+            fast.success == slow.success
+            and fast.rounds == slow.rounds
+            and fast.metrics.as_dict() == slow.metrics.as_dict()
+        )
         if isinstance(slow, LeaderElectionResult):
             same = (
-                fast.success == slow.success
+                same
                 and fast.leader == slow.leader
                 and fast.attempts == slow.attempts
-                and fast.rounds == slow.rounds
-                and fast.metrics.as_dict() == slow.metrics.as_dict()
             )
         else:
+            # Broadcast-shaped results (Compete-based or the classical
+            # Decay baseline) all carry the message and reception times.
             same = (
-                fast.success == slow.success
-                and fast.winner == slow.winner
-                and fast.rounds == slow.rounds
+                same
+                and fast.message == slow.message
                 and dict(fast.reception_rounds) == dict(slow.reception_rounds)
-                and fast.metrics.as_dict() == slow.metrics.as_dict()
             )
         if not same:
             raise SimulationError(
@@ -283,9 +288,9 @@ def _aggregate(scenario: Scenario, results: Sequence) -> dict[str, Any]:
             [result.metrics.collisions for result in results]
         ),
     }
-    if scenario.algorithm == "leader-election":
-        stats["attempts"] = _series(
-            [result.attempts for result in results]
+    for attribute in DEFAULT_ALGORITHMS.get(scenario.algorithm).extra_series:
+        stats[attribute] = _series(
+            [getattr(result, attribute) for result in results]
         )
     return stats
 

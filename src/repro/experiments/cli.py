@@ -5,6 +5,9 @@ Subcommands
 ``list``
     Show registered scenarios (optionally filtered by ``--match`` /
     ``--tag``), one per line, or as JSON with ``--json``.
+``algorithms``
+    Show the algorithm registry (:data:`repro.api.DEFAULT_ALGORITHMS`):
+    every runnable algorithm with its declared capabilities.
 ``run``
     Run one scenario, print its headline numbers, and write
     ``BENCH_<name>.json`` into ``--out`` (default ``benchmarks/``).
@@ -25,6 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.errors import ReproError
+from repro.api import DEFAULT_ALGORITHMS
 from repro.experiments.bench import run_benchmark
 from repro.experiments.persistence import load_bench, write_bench
 from repro.experiments.scenarios import DEFAULT_REGISTRY, Scenario
@@ -47,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_filters(list_parser)
     list_parser.add_argument(
         "--json", action="store_true", help="emit the scenarios as JSON"
+    )
+
+    algorithms_parser = subparsers.add_parser(
+        "algorithms",
+        help="list the algorithm registry with declared capabilities",
+    )
+    algorithms_parser.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON"
     )
 
     run_parser = subparsers.add_parser(
@@ -123,6 +135,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if arguments.command == "list":
             return _command_list(arguments)
+        if arguments.command == "algorithms":
+            return _command_algorithms(arguments)
         if arguments.command == "run":
             return _command_run(arguments)
         if arguments.command == "sweep":
@@ -154,6 +168,45 @@ def _command_list(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_algorithms(arguments: argparse.Namespace) -> int:
+    algorithms = list(DEFAULT_ALGORITHMS)
+    if arguments.json:
+        print(json.dumps(
+            [
+                {
+                    "name": algorithm.name,
+                    "description": algorithm.description,
+                    "collision_models": sorted(
+                        model.value for model in algorithm.collision_models
+                    ),
+                    "supports_spontaneous": algorithm.supports_spontaneous,
+                    "requires_spontaneous": algorithm.requires_spontaneous,
+                    "spontaneous_default": algorithm.spontaneous_default,
+                    "batched": algorithm.run_batch is not None,
+                }
+                for algorithm in algorithms
+            ],
+            indent=2,
+        ))
+        return 0
+    width = max(len(algorithm.name) for algorithm in algorithms)
+    for algorithm in algorithms:
+        models = ",".join(sorted(
+            model.value for model in algorithm.collision_models
+        ))
+        spontaneous = (
+            "required" if algorithm.requires_spontaneous
+            else "supported" if algorithm.supports_spontaneous
+            else "unsupported"
+        )
+        print(
+            f"{algorithm.name:<{width}}  spontaneous={spontaneous:<11} "
+            f"models={models}  {algorithm.description}"
+        )
+    print(f"({len(algorithms)} algorithms)")
+    return 0
+
+
 def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
     payload = run_benchmark(
         scenario,
@@ -162,7 +215,7 @@ def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
         seed_batches=arguments.seeds,
         reference_trials=arguments.reference_trials,
         include_reference=not arguments.skip_reference,
-        engine=arguments.engine,
+        config=scenario.execution_config(engine=arguments.engine),
     )
     path = write_bench(payload, arguments.out)
     timing = payload["timing"]

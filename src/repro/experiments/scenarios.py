@@ -30,13 +30,20 @@ from typing import Any, Iterator, Mapping, Optional
 from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.network.radio import CollisionModel
+from repro.api import DEFAULT_ALGORITHMS, ExecutionConfig
 from repro.core.compete import STRATEGIES
 from repro.core.parameters import DEFAULT_MARGIN
 from repro.simulation.vectorized import ENGINES
 from repro import topology
 
-#: Algorithms a scenario may benchmark.
-ALGORITHMS = ("broadcast", "leader-election")
+def __getattr__(name: str):
+    # ``ALGORITHMS`` (the algorithm names a scenario may benchmark) is a
+    # live view of :data:`repro.api.DEFAULT_ALGORITHMS`, not an
+    # import-time snapshot: a baseline registered after import is
+    # immediately addressable from scenarios *and* visible here.
+    if name == "ALGORITHMS":
+        return DEFAULT_ALGORITHMS.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Families whose generators draw randomness.  Scenarios over these must
 #: pin an explicit ``seed`` in ``topology_args``: the persisted scenario
@@ -112,10 +119,11 @@ class Scenario:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("scenario name must be non-empty")
-        if self.algorithm not in ALGORITHMS:
-            raise ConfigurationError(
-                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}"
-            )
+        # Resolving through the registry both rejects unknown names and
+        # enforces the algorithm's declared capabilities (supported
+        # collision models, spontaneous-transmission support) at
+        # registration time rather than mid-benchmark.
+        algorithm = DEFAULT_ALGORITHMS.get(self.algorithm)
         if self.strategy not in STRATEGIES:
             raise ConfigurationError(
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
@@ -134,6 +142,9 @@ class Scenario:
                 "collision_model must be one of "
                 f"{sorted(_COLLISION_MODELS)}, got {self.collision_model!r}"
             )
+        algorithm.check(
+            collision_model=self.collision(), spontaneous=self.spontaneous
+        )
         if self.trials < 1:
             raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
         if self.family in RANDOM_FAMILIES and "seed" not in self.topology_args:
@@ -150,6 +161,24 @@ class Scenario:
     def collision(self) -> CollisionModel:
         """The collision model as the enum the network layer uses."""
         return _COLLISION_MODELS[self.collision_model]
+
+    def execution_config(
+        self, *, backend: str = "vectorized", engine: Optional[str] = None
+    ) -> ExecutionConfig:
+        """The scenario's execution axes as one :class:`ExecutionConfig`.
+
+        The scenario's persisted flat fields (``strategy``, ``engine``,
+        ``collision_model``, ``margin``) stay the JSON form; this is the
+        runtime form every execution path consumes.  ``backend`` and
+        ``engine`` may be overridden without mutating the scenario.
+        """
+        return ExecutionConfig(
+            backend=backend,
+            engine=engine if engine is not None else self.engine,
+            strategy=self.strategy,
+            collision_model=self.collision(),
+            margin=self.margin,
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON-serialisable form persisted into ``BENCH_*.json``."""
@@ -401,6 +430,21 @@ def _populate(registry: ScenarioRegistry) -> None:
     add("broadcast-gnp-n16384", "connected G(16384, 0.001)", "gnp",
         {"num_nodes": 16384, "edge_probability": 0.001, "seed": 16384},
         "broadcast", trials=2, tags=("sparse", "xlarge", "random"))
+
+    # --- the classical repeated-Decay baseline --------------------------
+    # Registered through repro.api.DEFAULT_ALGORITHMS like any future
+    # prior-work protocol; twins of the spontaneous-broadcast scenarios
+    # above, so the artifacts measure what spontaneous transmissions buy.
+    add("decay-broadcast-path-n32",
+        "classical repeated-Decay baseline on the n=32=D+1 path "
+        "(vs broadcast-path-n32)",
+        "path", {"num_nodes": 32}, "decay-broadcast", spontaneous=False,
+        tags=("smoke", "baseline"))
+    add("decay-broadcast-grid-n256",
+        "classical repeated-Decay baseline on the 16x16 grid "
+        "(vs broadcast-grid-n256)",
+        "grid", {"rows": 16, "cols": 16}, "decay-broadcast",
+        spontaneous=False, tags=("baseline",))
 
     # --- leader election -------------------------------------------------
     add("election-complete-n32", "complete graph, n=32", "complete",

@@ -221,6 +221,13 @@ class VectorizedCompeteEngine:
         Round budget per trial.
     draw_block:
         Pre-draw block size for :class:`DrawStreams`.
+    config:
+        An :class:`~repro.api.config.ExecutionConfig` describing the
+        whole run: the strategy is compiled to the schedule, the round
+        budget derived from the graph (or the config's explicit
+        ``parameters``), and ``engine="auto"`` resolved through the
+        shared :func:`~repro.api.config.resolve_execution` path.
+        Mutually exclusive with every other keyword.
     """
 
     def __init__(
@@ -229,10 +236,34 @@ class VectorizedCompeteEngine:
         *,
         decay_steps: Optional[int] = None,
         schedule=None,
-        max_rounds: int,
+        max_rounds: Optional[int] = None,
         draw_block: int = DEFAULT_DRAW_BLOCK,
         engine: str = "auto",
+        config=None,
     ) -> None:
+        if config is not None:
+            if (decay_steps is not None or schedule is not None
+                    or max_rounds is not None or engine != "auto"
+                    or draw_block != DEFAULT_DRAW_BLOCK):
+                raise ConfigurationError(
+                    "pass either config= or the explicit decay_steps/"
+                    "schedule/max_rounds/engine/draw_block keywords, not "
+                    "both (the config carries its own engine and "
+                    "draw_block)"
+                )
+            # api sits above simulation in the layering, so the import
+            # is local; resolution applies the density heuristic once.
+            from repro.api.config import resolve_execution
+
+            resolved = resolve_execution(graph, config)
+            schedule = resolved.schedule
+            max_rounds = resolved.parameters.total_rounds
+            engine = resolved.engine
+            draw_block = config.draw_block
+        if max_rounds is None:
+            raise ConfigurationError(
+                "max_rounds is required when no config is given"
+            )
         if (decay_steps is None) == (schedule is None):
             raise ConfigurationError(
                 "exactly one of decay_steps and schedule must be given"

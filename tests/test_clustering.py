@@ -19,6 +19,7 @@ import math
 import pytest
 
 from repro import topology
+from repro.api import ExecutionConfig
 from repro.core.broadcast import broadcast
 from repro.core.clustering import Cluster, ClusterDecomposition, decompose
 from repro.core.compete import (
@@ -246,8 +247,9 @@ def test_clustered_broadcast_succeeds_and_beats_skeleton_on_path():
     # large: 2-step cycles vs ceil(log2 n) = 7 steps).
     graph = topology.path_graph(128)
     seeds = [0, 1, 2, 3]
-    skeleton = Compete(graph, backend="vectorized")
-    clustered = Compete(graph, strategy="clustered", backend="vectorized")
+    skeleton = Compete(graph, config=ExecutionConfig(backend="vectorized"))
+    clustered = Compete(graph, config=ExecutionConfig(
+        backend="vectorized", strategy="clustered"))
     candidates = {0: 1}
     slow = skeleton.run_batch(candidates, seeds=seeds, spontaneous=True)
     fast = clustered.run_batch(candidates, seeds=seeds, spontaneous=True)
@@ -261,8 +263,9 @@ def test_clustered_broadcast_succeeds_and_beats_skeleton_on_path():
 def test_clustered_broadcast_succeeds_on_grid_and_star():
     for graph in (topology.grid_graph(8, 8), topology.star_graph(32)):
         result = broadcast(
-            graph, source=graph.nodes()[0], seed=5, strategy="clustered",
-            backend="vectorized",
+            graph, source=graph.nodes()[0], seed=5,
+            config=ExecutionConfig(backend="vectorized",
+                                   strategy="clustered"),
         )
         assert result.success
 
@@ -280,11 +283,13 @@ def test_custom_strategy_plugs_in():
 
     graph = topology.path_graph(10)
     reference = compete(
-        graph, {0: 1}, seed=2, spontaneous=True, strategy=HalfStrategy()
+        graph, {0: 1}, seed=2, spontaneous=True,
+        config=ExecutionConfig(strategy=HalfStrategy()),
     )
     vectorized = compete(
-        graph, {0: 1}, seed=2, spontaneous=True, strategy=HalfStrategy(),
-        backend="vectorized",
+        graph, {0: 1}, seed=2, spontaneous=True,
+        config=ExecutionConfig(strategy=HalfStrategy(),
+                               backend="vectorized"),
     )
     assert reference.strategy == "half"
     assert reference.rounds == vectorized.rounds
@@ -296,13 +301,13 @@ def test_strategy_schedule_tracks_graph_mutation():
     # graph between runs must rebuild the decomposition-backed schedule
     # (same contract as the vectorized-engine cache).
     graph = topology.path_graph(8)
-    primitive = Compete(graph, strategy="clustered", backend="vectorized")
+    primitive = Compete(graph, config=ExecutionConfig(
+        backend="vectorized", strategy="clustered"))
     before = primitive.run({0: 1}, seed=3, spontaneous=True)
     graph.add_edge(0, 7)
     after = primitive.run({0: 1}, seed=3, spontaneous=True)
-    reference = primitive.run(
-        {0: 1}, seed=3, spontaneous=True, backend="reference"
-    )
+    reference = Compete(graph, config=ExecutionConfig(
+        strategy="clustered")).run({0: 1}, seed=3, spontaneous=True)
     assert after.rounds == reference.rounds
     assert dict(after.reception_rounds) == dict(reference.reception_rounds)
     assert after.metrics.as_dict() == reference.metrics.as_dict()

@@ -27,6 +27,7 @@ from typing import Callable, Tuple
 import pytest
 
 from repro import topology
+from repro.api import ExecutionConfig
 from repro.core.broadcast import broadcast
 from repro.core.compete import Compete, compete
 from repro.core.leader_election import elect_leader
@@ -132,15 +133,17 @@ def case_params():
 
 
 def run_case(case: Case, seed: int, backend: str, engine: str):
-    """Execute one case on one execution path."""
+    """Execute one case on one execution path (via ExecutionConfig)."""
     graph = case.factory()
     common = dict(
         seed=seed,
-        strategy=case.strategy,
-        collision_model=case.collision_model,
         spontaneous=case.spontaneous,
-        backend=backend,
-        engine=engine,
+        config=ExecutionConfig(
+            backend=backend,
+            engine=engine,
+            strategy=case.strategy,
+            collision_model=case.collision_model,
+        ),
     )
     if case.algorithm == "compete":
         nodes = graph.nodes()
@@ -197,7 +200,9 @@ def _three_way_compete(graph, candidates, *, parameters=None,
                        spontaneous=False, seed=0):
     return {
         label: Compete(
-            graph, parameters=parameters, backend=backend, engine=engine
+            graph,
+            parameters=parameters,
+            config=ExecutionConfig(backend=backend, engine=engine),
         ).run(candidates, seed=seed, spontaneous=spontaneous)
         for label, backend, engine in EXECUTIONS
     }
@@ -273,7 +278,9 @@ def test_dense_sparse_agree_beyond_reference_scale():
     seeds = [0, 1, 2]
     outcomes = {}
     for engine in ("dense", "sparse"):
-        primitive = Compete(graph, backend="vectorized", engine=engine)
+        primitive = Compete(
+            graph, config=ExecutionConfig(backend="vectorized", engine=engine)
+        )
         outcomes[engine] = primitive.run_batch(
             {0: 1}, seeds=seeds, spontaneous=True
         )

@@ -251,12 +251,14 @@ def test_run_benchmark_forced_sparse_engine_agrees_with_reference():
     # Forcing the CSR kernel on a small scenario keeps the reference
     # agreement pass in the loop -- a sparse-engine drift would raise
     # SimulationError here -- and the payload records the override.
-    payload = run_benchmark(TINY, reference_trials=2, engine="sparse")
+    payload = run_benchmark(
+        TINY, reference_trials=2, config=TINY.execution_config(engine="sparse")
+    )
     validate_bench(payload)
     assert payload["engine"] == {"requested": "sparse", "selected": "sparse"}
     assert payload["agreement"]["round_exact"] is True
     with pytest.raises(ConfigurationError, match="engine"):
-        run_benchmark(TINY, engine="gpu")
+        run_benchmark(TINY, config=TINY.execution_config(engine="gpu"))
 
 
 def test_run_benchmark_without_reference():

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro import topology
+from repro.api import ExecutionConfig
 from repro.core.compete import Compete
 from repro.core.parameters import CompeteParameters
 from repro.errors import ConfigurationError
@@ -43,15 +44,16 @@ def assert_same_compete_result(reference, vectorized, context=""):
 @pytest.mark.parametrize("engine", ["dense", "sparse"])
 def test_run_batch_matches_individual_runs(engine):
     graph = topology.grid_graph(4, 5)
-    primitive = Compete(graph, engine=engine)
+    primitive = Compete(graph, config=ExecutionConfig(engine=engine))
+    fast = Compete(
+        graph, config=ExecutionConfig(backend="vectorized", engine=engine)
+    )
     candidates = {0: 5, 19: 9}
     seeds = [0, 1, 2, 3, 4]
     batch = primitive.run_batch(candidates, seeds=seeds, spontaneous=True)
     assert len(batch) == len(seeds)
     for seed, batched in zip(seeds, batch):
-        single_vec = primitive.run(
-            candidates, seed=seed, spontaneous=True, backend="vectorized"
-        )
+        single_vec = fast.run(candidates, seed=seed, spontaneous=True)
         single_ref = primitive.run(candidates, seed=seed, spontaneous=True)
         assert_same_compete_result(single_ref, batched, f"seed={seed}")
         assert_same_compete_result(single_vec, batched, f"seed={seed}")
@@ -99,11 +101,12 @@ def test_engine_input_validation():
         VectorizedCompeteEngine(graph, decay_steps=2, max_rounds=1,
                                 engine="quantum")
     with pytest.raises(ConfigurationError):
-        Compete(graph, backend="warp-drive")
+        Compete(graph, config=ExecutionConfig(backend="warp-drive"))
     with pytest.raises(ConfigurationError, match="engine"):
-        Compete(graph, engine="warp-core")
-    with pytest.raises(ConfigurationError):
-        Compete(graph).run({0: 1}, backend="warp-drive")
+        Compete(graph, config=ExecutionConfig(engine="warp-core"))
+    with pytest.raises(ConfigurationError, match="config"):
+        # config= and a legacy kwarg cannot be mixed.
+        Compete(graph, config=ExecutionConfig(), backend="vectorized")
 
 
 def test_engine_selection_is_visible():
@@ -114,10 +117,17 @@ def test_engine_selection_is_visible():
     assert VectorizedCompeteEngine(
         graph, decay_steps=2, max_rounds=4, engine="sparse"
     ).engine == "sparse"
-    primitive = Compete(graph, engine="sparse")
+    primitive = Compete(graph, config=ExecutionConfig(engine="sparse"))
     assert primitive.engine == "sparse"
     assert primitive.selected_engine() == "sparse"
     assert Compete(graph).selected_engine() == "dense"
+    assert VectorizedCompeteEngine(
+        graph, config=ExecutionConfig(engine="sparse")
+    ).engine == "sparse"
+    with pytest.raises(ConfigurationError, match="config"):
+        VectorizedCompeteEngine(
+            graph, config=ExecutionConfig(), max_rounds=4
+        )
 
 
 @pytest.mark.parametrize("engine", ["dense", "sparse"])
@@ -126,12 +136,15 @@ def test_engine_cache_tracks_graph_mutation(engine):
     # graph between runs must rebuild it so both backends keep seeing
     # the same (live) topology.
     graph = topology.path_graph(8)
-    primitive = Compete(graph, backend="vectorized", engine=engine)
+    primitive = Compete(
+        graph, config=ExecutionConfig(backend="vectorized", engine=engine)
+    )
     before = primitive.run({0: 1}, seed=3, spontaneous=True)
     graph.add_edge(0, 7)  # diameter collapses; propagation changes
     after = primitive.run({0: 1}, seed=3, spontaneous=True)
-    reference = primitive.run({0: 1}, seed=3, spontaneous=True,
-                              backend="reference")
+    reference = Compete(
+        graph, config=ExecutionConfig(engine=engine)
+    ).run({0: 1}, seed=3, spontaneous=True)
     assert_same_compete_result(reference, after, "post-mutation")
     assert dict(before.reception_rounds) != dict(after.reception_rounds)
 
