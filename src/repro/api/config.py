@@ -59,6 +59,7 @@ from repro.core.compete import (
     resolve_strategy,
 )
 from repro.schedules.transmission import TransmissionSchedule
+from repro.simulation.rng import RNG_MODES
 from repro.simulation.sparse import resolve_engine
 from repro.simulation.vectorized import (
     DEFAULT_DRAW_BLOCK,
@@ -69,9 +70,11 @@ from repro.topology.validation import validate_radio_topology
 
 #: Seed policies: how per-(trial, node) randomness is produced.
 #: ``"replay"`` replays the reference runner's ``SeedSequence.spawn``
-#: streams for round-exact backend parity; a future decoupled fast-RNG
-#: mode (see ROADMAP) will register here.
-RNG_POLICIES = ("replay",)
+#: streams for round-exact backend parity; ``"decoupled"`` evaluates the
+#: stateless counter-based hash of :mod:`repro.simulation.rng`
+#: (vectorized backend only -- fast, seed-reproducible, distributionally
+#: equivalent).  Aliases :data:`repro.simulation.rng.RNG_MODES`.
+RNG_POLICIES = RNG_MODES
 
 _COLLISION_BY_NAME = {model.value: model for model in CollisionModel}
 
@@ -113,8 +116,12 @@ class ExecutionConfig:
         Pre-draw block size of the vectorized backend's
         :class:`~repro.simulation.vectorized.DrawStreams` replay.
     rng:
-        Seed policy, one of :data:`RNG_POLICIES` (currently only the
-        reference-parity ``"replay"`` stream replay).
+        Seed policy, one of :data:`RNG_POLICIES`: ``"replay"`` (the
+        reference-parity stream replay, round-exact across backends) or
+        ``"decoupled"`` (the counter-based hash fast mode; vectorized
+        backend only, seed-reproducible against itself, equivalent to
+        replay *in distribution* -- the contract
+        ``tests/test_rng_decoupled.py`` enforces statistically).
     """
 
     backend: str = "reference"
@@ -175,6 +182,12 @@ class ExecutionConfig:
         if self.rng not in RNG_POLICIES:
             raise ConfigurationError(
                 f"rng must be one of {RNG_POLICIES}, got {self.rng!r}"
+            )
+        if self.rng == "decoupled" and self.backend == "reference":
+            raise ConfigurationError(
+                "rng='decoupled' requires the vectorized backend: the "
+                "reference runner is defined by its per-node stream "
+                "replay and has no counter-based mode"
             )
 
     @property
@@ -283,6 +296,7 @@ class ResolvedExecution:
             max_rounds=self._parameters.total_rounds,
             engine=self._engine,
             draw_block=self._config.draw_block,
+            rng=self._config.rng,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -10,6 +10,7 @@ backends can never hide inside a performance number.
 
 from __future__ import annotations
 
+import concurrent.futures
 import datetime
 import platform
 import time
@@ -40,6 +41,7 @@ def run_benchmark(
     include_reference: bool = True,
     config: Optional[ExecutionConfig] = None,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> dict[str, Any]:
     """Run ``scenario`` and return its schema-valid benchmark payload.
 
@@ -74,12 +76,29 @@ def run_benchmark(
         **Deprecated** -- the pre-config kernel override; use
         ``config=scenario.execution_config(engine=...)``.  One
         :class:`DeprecationWarning`, identical behaviour.
+    workers:
+        Shard the vectorized trial batch across this many processes
+        (default 1: run in-process).  Seeds are split into contiguous
+        chunks and merged back in submission order, so the payload is
+        identical for any worker count -- per-trial draws depend only on
+        the trial's own seed under both rng policies, which is what
+        makes the sharding sound.  The effective count is recorded in
+        the payload's top-level ``workers`` field.
 
     Raises
     ------
     SimulationError
         If a reference trial disagrees with its vectorized counterpart
         (the equivalence guarantee is broken -- never ignore this).
+
+    Notes
+    -----
+    Under ``config.rng == "decoupled"`` the reference pass (if any) is
+    timing-only: the reference runner replays its per-node streams while
+    the vectorized engine hashes counters, so their draws differ by
+    design and round-exact agreement is not checked (the payload records
+    ``agreement.checked_trials == 0``).  Distributional agreement is
+    enforced separately by the statistical test layer.
     """
     per_batch = trials if trials is not None else scenario.trials
     if per_batch < 1:
@@ -93,6 +112,9 @@ def run_benchmark(
         raise ConfigurationError(
             f"reference_trials must be >= 0, got {reference_trials}"
         )
+    num_workers = workers if workers is not None else 1
+    if num_workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {num_workers}")
     if engine is not None:
         if config is not None:
             raise ConfigurationError(
@@ -127,10 +149,37 @@ def run_benchmark(
     requested_engine = config.engine
     selected_engine = resolved.engine
 
+    effective_workers = min(num_workers, num_trials)
     started = time.perf_counter()
-    vectorized = _run_trials(
-        scenario, graph, parameters, seeds, "vectorized", config
-    )
+    if effective_workers > 1:
+        # Contiguous seed chunks, merged back in submission order: the
+        # result list is byte-identical to the workers=1 run because
+        # each trial's draws depend only on its own seed.
+        chunks = [
+            chunk.tolist()
+            for chunk in np.array_split(
+                np.asarray(seeds), effective_workers
+            )
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=effective_workers
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _worker_run_trials, scenario, parameters, chunk, config
+                )
+                for chunk in chunks
+                if chunk
+            ]
+            vectorized = [
+                result
+                for future in futures
+                for result in future.result()
+            ]
+    else:
+        vectorized = _run_trials(
+            scenario, graph, parameters, seeds, "vectorized", config
+        )
     vectorized_seconds = time.perf_counter() - started
 
     num_reference = 0
@@ -142,6 +191,7 @@ def run_benchmark(
             if reference_trials is not None
             else DEFAULT_REFERENCE_TRIALS,
         )
+    num_checked = 0
     if num_reference:
         started = time.perf_counter()
         reference = _run_trials(
@@ -149,7 +199,12 @@ def run_benchmark(
             config,
         )
         reference_seconds = time.perf_counter() - started
-        _check_agreement(scenario, vectorized[:num_reference], reference)
+        if config.rng == "replay":
+            _check_agreement(scenario, vectorized[:num_reference], reference)
+            num_checked = num_reference
+        # Decoupled draws differ from the replayed reference streams by
+        # design -- the reference pass is timing-only and the payload
+        # records zero checked trials (statistical tests own parity).
 
     stats = _aggregate(scenario, vectorized)
     vec_per_trial = vectorized_seconds / num_trials
@@ -183,6 +238,8 @@ def run_benchmark(
             "requested": requested_engine,
             "selected": selected_engine,
         },
+        "rng": config.rng,
+        "workers": effective_workers,
         "results": stats,
         "timing": {
             "vectorized_seconds": vectorized_seconds,
@@ -196,10 +253,10 @@ def run_benchmark(
             ),
         },
         "agreement": {
-            "checked_trials": num_reference,
+            "checked_trials": num_checked,
             # True iff agreement was actually checked; a disagreement
             # raises instead of persisting, so this is never a false True.
-            "round_exact": num_reference > 0,
+            "round_exact": num_checked > 0,
         },
         "environment": {
             "python": platform.python_version(),
@@ -225,7 +282,14 @@ def _run_trials(
     ``parameters`` ride inside the config so the diameter is not
     recomputed per trial.
     """
-    run_config = config.replace(backend=backend, parameters=parameters)
+    if backend == "reference" and config.rng == "decoupled":
+        # The reference runner has no counter mode (the config layer
+        # rejects the combination); its timing pass always replays.
+        run_config = config.replace(
+            backend=backend, rng="replay", parameters=parameters
+        )
+    else:
+        run_config = config.replace(backend=backend, parameters=parameters)
     if backend == "vectorized":
         return DEFAULT_ALGORITHMS.run_batch(
             scenario.algorithm, graph, seeds=seeds, config=run_config,
@@ -238,6 +302,24 @@ def _run_trials(
         )
         for seed in seeds
     ]
+
+
+def _worker_run_trials(
+    scenario: Scenario,
+    parameters: CompeteParameters,
+    seeds: Sequence[int],
+    config: ExecutionConfig,
+) -> list:
+    """One worker process's share of the vectorized trial batch.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; rebuilds the (deterministic) topology locally instead of
+    shipping the adjacency structure across the process boundary.
+    """
+    graph = scenario.build_graph()
+    return _run_trials(
+        scenario, graph, parameters, seeds, "vectorized", config
+    )
 
 
 def _check_agreement(

@@ -115,6 +115,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
              "edge density; sparse opens n >= 10^4 topologies)",
     )
     parser.add_argument(
+        "--rng", choices=("replay", "decoupled"), default=None,
+        help="randomness policy: replay (default; round-exact backend "
+             "agreement) or decoupled (counter-based fast mode; parity "
+             "is distributional, checked by the statistical test layer)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the trial batch across N processes (deterministic: "
+             "the artifact is identical for any worker count)",
+    )
+    parser.add_argument(
         "--reference-trials", type=int, default=None,
         help="how many trials to repeat on the reference backend",
     )
@@ -215,7 +226,10 @@ def _execute(arguments: argparse.Namespace, scenario: Scenario) -> None:
         seed_batches=arguments.seeds,
         reference_trials=arguments.reference_trials,
         include_reference=not arguments.skip_reference,
-        config=scenario.execution_config(engine=arguments.engine),
+        config=scenario.execution_config(
+            engine=arguments.engine, rng=arguments.rng
+        ),
+        workers=arguments.workers,
     )
     path = write_bench(payload, arguments.out)
     timing = payload["timing"]

@@ -18,6 +18,7 @@ import re
 from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.simulation.rng import RNG_MODES
 from repro.simulation.sparse import ENGINE_KINDS
 from repro.simulation.vectorized import ENGINES
 
@@ -102,6 +103,14 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
             "scenario.engine",
             f"must be one of {ENGINES}, got {scenario['engine']!r}",
         )
+    # Added in PR 6 alongside the top-level rng field.
+    if "rng" in scenario:
+        _field(scenario, "rng", str, path="scenario.rng")
+        _expect(
+            scenario["rng"] in RNG_MODES,
+            "scenario.rng",
+            f"must be one of {RNG_MODES}, got {scenario['rng']!r}",
+        )
     _field(scenario, "topology_args", Mapping, path="scenario.topology_args")
 
     topo = _field(payload, "topology", Mapping)
@@ -161,6 +170,19 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
             "must equal the requested engine unless 'auto' was requested",
         )
 
+    # The rng policy and worker count were added in PR 6; optional so
+    # pre-existing repro-bench/1 artifacts -- which all ran the replay
+    # policy in one process -- keep validating.
+    if "rng" in payload:
+        _field(payload, "rng", str)
+        _expect(
+            payload["rng"] in RNG_MODES,
+            "rng",
+            f"must be one of {RNG_MODES}, got {payload['rng']!r}",
+        )
+    if "workers" in payload:
+        _int_field(payload, "workers", minimum=1)
+
     results = _field(payload, "results", Mapping)
     rate = _field(results, "success_rate", (int, float), path="results.success_rate")
     _expect(0.0 <= rate <= 1.0, "results.success_rate", "must be in [0, 1]")
@@ -198,6 +220,15 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
         "must be true exactly when agreement was checked (a run that "
         "observes a disagreement raises instead of persisting)",
     )
+    if payload.get("rng") == "decoupled":
+        # Decoupled draws never match the replayed reference streams, so
+        # a decoupled artifact claiming round-exact agreement is lying.
+        _expect(
+            agreement["checked_trials"] == 0,
+            "agreement.checked_trials",
+            "must be 0 under rng='decoupled' (replay parity is "
+            "distributional, not round-exact)",
+        )
 
     environment = _field(payload, "environment", Mapping)
     for key in ("python", "numpy", "platform"):

@@ -33,6 +33,7 @@ from repro.network.radio import CollisionModel
 from repro.api import DEFAULT_ALGORITHMS, ExecutionConfig
 from repro.core.compete import STRATEGIES
 from repro.core.parameters import DEFAULT_MARGIN
+from repro.simulation.rng import RNG_MODES
 from repro.simulation.vectorized import ENGINES
 from repro import topology
 
@@ -90,6 +91,14 @@ class Scenario:
         and sparse CSR above), ``"dense"`` or ``"sparse"``.  The kernels
         are bit-for-bit equivalent, so this only affects time and
         memory; the benchmark payload records which one actually ran.
+    rng:
+        Randomness policy, one of
+        :data:`repro.simulation.rng.RNG_MODES`: ``"replay"`` (the
+        default; the vectorized engine replays the reference runner's
+        per-node streams, so backend agreement is round-exact) or
+        ``"decoupled"`` (the counter-based fast mode; replay parity is
+        distributional only, enforced by the statistical test layer).
+        Scenarios too large for stream replay set ``"decoupled"``.
     trials:
         Default number of seeded trials per benchmark run.
     seed:
@@ -111,6 +120,7 @@ class Scenario:
     spontaneous: bool = True
     strategy: str = "skeleton"
     engine: str = "auto"
+    rng: str = "replay"
     trials: int = 8
     seed: int = 2017
     margin: float = DEFAULT_MARGIN
@@ -131,6 +141,10 @@ class Scenario:
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.rng not in RNG_MODES:
+            raise ConfigurationError(
+                f"rng must be one of {RNG_MODES}, got {self.rng!r}"
             )
         if self.family not in topology.FAMILIES:
             known = ", ".join(sorted(topology.FAMILIES))
@@ -163,14 +177,19 @@ class Scenario:
         return _COLLISION_MODELS[self.collision_model]
 
     def execution_config(
-        self, *, backend: str = "vectorized", engine: Optional[str] = None
+        self,
+        *,
+        backend: str = "vectorized",
+        engine: Optional[str] = None,
+        rng: Optional[str] = None,
     ) -> ExecutionConfig:
         """The scenario's execution axes as one :class:`ExecutionConfig`.
 
         The scenario's persisted flat fields (``strategy``, ``engine``,
-        ``collision_model``, ``margin``) stay the JSON form; this is the
-        runtime form every execution path consumes.  ``backend`` and
-        ``engine`` may be overridden without mutating the scenario.
+        ``rng``, ``collision_model``, ``margin``) stay the JSON form;
+        this is the runtime form every execution path consumes.
+        ``backend``, ``engine`` and ``rng`` may be overridden without
+        mutating the scenario.
         """
         return ExecutionConfig(
             backend=backend,
@@ -178,6 +197,7 @@ class Scenario:
             strategy=self.strategy,
             collision_model=self.collision(),
             margin=self.margin,
+            rng=rng if rng is not None else self.rng,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -192,6 +212,7 @@ class Scenario:
             "spontaneous": self.spontaneous,
             "strategy": self.strategy,
             "engine": self.engine,
+            "rng": self.rng,
             "trials": self.trials,
             "seed": self.seed,
             "margin": self.margin,
@@ -213,6 +234,7 @@ class Scenario:
             spontaneous=bool(data.get("spontaneous", True)),
             strategy=str(data.get("strategy", "skeleton")),
             engine=str(data.get("engine", "auto")),
+            rng=str(data.get("rng", "replay")),
             trials=int(data.get("trials", 8)),
             seed=int(data.get("seed", 2017)),
             margin=float(data.get("margin", DEFAULT_MARGIN)),
@@ -430,6 +452,26 @@ def _populate(registry: ScenarioRegistry) -> None:
     add("broadcast-gnp-n16384", "connected G(16384, 0.001)", "gnp",
         {"num_nodes": 16384, "edge_probability": 0.001, "seed": 16384},
         "broadcast", trials=2, tags=("sparse", "xlarge", "random"))
+
+    # --- decoupled-rng regime: n >= ~10^5 -------------------------------
+    # At this scale even the vectorized replay path is dominated by
+    # refilling per-node draw blocks; the counter-based rng="decoupled"
+    # mode is the only practical policy.  Its replay parity is
+    # distributional (tests/test_rng_decoupled.py), so these scenarios
+    # are run with --skip-reference.
+    add("broadcast-grid-n16384-decoupled",
+        "128x128 grid, decoupled counter rng "
+        "(vs broadcast-grid-n16384 for the replay-mode twin)",
+        "grid", {"rows": 128, "cols": 128}, "broadcast", trials=2,
+        rng="decoupled", tags=("sparse", "xlarge", "decoupled"))
+    add("broadcast-grid-n1e5", "316x316 grid, n=99856", "grid",
+        {"rows": 316, "cols": 316}, "broadcast", trials=2,
+        rng="decoupled", tags=("sparse", "xlarge", "decoupled"))
+    add("broadcast-gnp-n1e5", "connected G(100000, 0.00012)", "gnp",
+        {"num_nodes": 100000, "edge_probability": 0.00012,
+         "seed": 100000},
+        "broadcast", trials=2, rng="decoupled",
+        tags=("sparse", "xlarge", "decoupled", "random"))
 
     # --- the classical repeated-Decay baseline --------------------------
     # Registered through repro.api.DEFAULT_ALGORITHMS like any future

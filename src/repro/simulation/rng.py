@@ -1,0 +1,210 @@
+"""Counter-based draw streams: the ``rng="decoupled"`` fast mode.
+
+The vectorized engine's default randomness policy (``rng="replay"``,
+:class:`repro.simulation.vectorized.DrawStreams`) replays the reference
+runner's per-(trial, node) ``SeedSequence`` streams so that every backend
+agrees round for round.  That guarantee costs real time: spawning
+``trials * n`` generator objects and refilling their pre-draw blocks is
+40% of the wall clock at ``n = 16384`` -- and the streams are inherently
+*stateful*, so they cannot be sharded, replayed out of order, or skipped
+past silent rounds.
+
+This module is the stateless alternative.  A draw is a pure hash of its
+coordinates::
+
+    u(trial, round, node) = bits_to_unit(mix64(mix64(base(trial)
+                                         + round_key(round)) + node_key(node)))
+
+where :func:`mix64` is the splitmix64 finalizer (a bijection on 64-bit
+words with full avalanche) and the keys are Weyl-sequence increments of
+the golden-ratio constant.  No state advances between rounds: any round
+of any trial can be evaluated independently, in any process, in one
+vectorized pass over the node axis.  The price is the *contract*: a
+decoupled run is seed-reproducible against itself (same seed, same
+draws, forever -- pinned by golden values in ``tests/test_rng.py``) but
+does **not** reproduce the reference runner's draws, so replay-vs-
+decoupled agreement is *distributional*, enforced statistically by
+``tests/test_rng_decoupled.py`` rather than round-exactly.
+
+Draw quality: splitmix64 passes BigCrush as a sequential generator; used
+here as a counter-mode hash, neighbouring counters are separated by one
+full avalanche mix, and ``tests/test_rng.py`` smoke-checks uniformity
+(chi-squared) and cross-key independence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Randomness policies of the vectorized engine.  ``"replay"`` replays
+#: the reference runner's per-node streams (round-exact backend parity);
+#: ``"decoupled"`` evaluates the counter-based hash of this module
+#: (distributional parity, statistically enforced).
+RNG_MODES = ("replay", "decoupled")
+
+#: 2**64 wrap mask for the pure-Python key arithmetic below.  (NumPy
+#: *array* uint64 ops wrap silently; Python-int scalar arithmetic is kept
+#: exact and masked, avoiding NumPy's scalar-overflow warnings.)
+_MASK64 = (1 << 64) - 1
+
+#: The golden-ratio Weyl increment of splitmix64: multiplying a counter
+#: by an odd constant with good bit dispersion keeps successive keys far
+#: apart in Hamming distance before the finalizer mixes them.
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+#: Salt folded into the trial seed so that the trial-key sequence is not
+#: the plain integers (seed 0 must not hash the raw zero word).
+_SEED_SALT = 0x5851F42D4C957F2D
+
+
+def _mix64_int(value: int) -> int:
+    """The splitmix64 finalizer on one Python integer (exact, masked)."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def mix64(words: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorized over a ``uint64`` array.
+
+    A bijection on 64-bit words: every input bit affects every output
+    bit (full avalanche), which is what makes nearby counters hash to
+    independent-looking draws.  Overflow is the point -- all arithmetic
+    is modulo 2**64.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        words = (words ^ (words >> np.uint64(30))) * np.uint64(
+            0xBF58476D1CE4E5B9
+        )
+        words = (words ^ (words >> np.uint64(27))) * np.uint64(
+            0x94D049BB133111EB
+        )
+        return words ^ (words >> np.uint64(31))
+
+
+def bits_to_unit(bits: np.ndarray) -> np.ndarray:
+    """Map ``uint64`` words to ``float64`` uniforms in ``[0, 1)``.
+
+    Uses the top 53 bits (the float64 mantissa width), the standard
+    construction: every representable value is hit with equal
+    probability and the conversion is exact.
+    """
+    return (bits >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+class DecoupledStreams:
+    """Counter-based per-(trial, round, node) uniforms for the engine.
+
+    Drop-in alternative to
+    :class:`~repro.simulation.vectorized.DrawStreams` under
+    ``rng="decoupled"``: :meth:`uniforms` returns the full
+    ``(trials, n)`` draw matrix of any round as a pure function of
+    ``(seeds, round, node)`` -- no state advances, so the engine never
+    tracks which nodes consumed a draw, and any process computing the
+    same coordinates gets the same values.
+
+    Parameters
+    ----------
+    seeds:
+        One seed per trial, with the reference runner's semantics:
+        an integer pins the trial's draws forever; ``None`` takes fresh
+        OS entropy (the trial is then not reproducible, exactly like
+        passing ``seed=None`` to the reference runner).
+    num_nodes:
+        Width of the node axis; node ``i`` (engine order) uses node key
+        ``(i + 1) * GOLDEN_GAMMA``.
+    """
+
+    def __init__(
+        self, seeds: Sequence[Optional[int]], num_nodes: int
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {num_nodes}"
+            )
+        bases = []
+        for seed in seeds:
+            if seed is None:
+                seed = int(
+                    np.random.SeedSequence().generate_state(1, np.uint64)[0]
+                )
+            bases.append(_mix64_int(int(seed) ^ _SEED_SALT))
+        self._bases = np.array(bases, dtype=np.uint64).reshape(-1, 1)
+        self._node_keys = (
+            np.arange(1, num_nodes + 1, dtype=np.uint64)
+            * np.uint64(GOLDEN_GAMMA)
+        ).reshape(1, -1)
+        self._num_nodes = num_nodes
+        # Reusable output/scratch buffers for :meth:`bits` -- the engine
+        # calls it once per round, and recycling the two (trials, n)
+        # arrays keeps the hot loop allocation-free.
+        self._buffer: Optional[np.ndarray] = None
+        self._scratch: Optional[np.ndarray] = None
+
+    @property
+    def num_trials(self) -> int:
+        return int(self._bases.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def bits(self, round_number: int) -> np.ndarray:
+        """The raw ``uint64`` hash words of one round, ``(trials, n)``.
+
+        Stateless: calling this for any round, any number of times, in
+        any order, always returns the same values for the same seeds.
+        The returned array is an internal buffer reused by the next
+        call -- copy it if you need it to survive.
+        """
+        if round_number < 0:
+            raise ConfigurationError(
+                f"round_number must be >= 0, got {round_number}"
+            )
+        round_key = _mix64_int((round_number + 1) * GOLDEN_GAMMA)
+        if self._buffer is None:
+            shape = (self.num_trials, self._num_nodes)
+            self._buffer = np.empty(shape, dtype=np.uint64)
+            self._scratch = np.empty(shape, dtype=np.uint64)
+        out, tmp = self._buffer, self._scratch
+        with np.errstate(over="ignore"):
+            round_states = mix64(self._bases + np.uint64(round_key))
+            # The splitmix64 finalizer of :func:`mix64`, unrolled onto
+            # the reusable buffers (same values, zero allocations).
+            np.add(round_states, self._node_keys, out=out)
+            np.right_shift(out, np.uint64(30), out=tmp)
+            out ^= tmp
+            out *= np.uint64(0xBF58476D1CE4E5B9)
+            np.right_shift(out, np.uint64(27), out=tmp)
+            out ^= tmp
+            out *= np.uint64(0x94D049BB133111EB)
+            np.right_shift(out, np.uint64(31), out=tmp)
+            out ^= tmp
+        return out
+
+    def mantissas(self, round_number: int) -> np.ndarray:
+        """One round's draws as 53-bit integers (``uniforms * 2**53``).
+
+        The engine's hot loop compares these against pre-scaled integer
+        thresholds ``ceil(p * 2**53)`` -- exactly equivalent to
+        ``uniforms(round) < p`` (for ``m`` an integer, ``m * 2**-53 < p``
+        iff ``m < ceil(p * 2**53)``) without converting the whole draw
+        matrix to float every round.
+        """
+        return self.bits(round_number) >> np.uint64(11)
+
+    def uniforms(self, round_number: int) -> np.ndarray:
+        """The ``(trials, num_nodes)`` uniform draws of one round."""
+        return bits_to_unit(self.bits(round_number))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecoupledStreams(trials={self.num_trials}, "
+            f"n={self._num_nodes})"
+        )

@@ -72,6 +72,7 @@ from repro.errors import ConfigurationError
 from repro.network.graph import Graph
 from repro.network.metrics import NetworkMetrics
 from repro.schedules.transmission import decay_probabilities
+from repro.simulation.rng import RNG_MODES, DecoupledStreams
 from repro.simulation.sparse import CSRAdjacency, ENGINE_KINDS, resolve_engine
 
 #: Rank value meaning "this node knows no message yet".
@@ -220,7 +221,20 @@ class VectorizedCompeteEngine:
     max_rounds:
         Round budget per trial.
     draw_block:
-        Pre-draw block size for :class:`DrawStreams`.
+        Pre-draw block size for :class:`DrawStreams` (replay mode only).
+    rng:
+        Randomness policy, one of
+        :data:`repro.simulation.rng.RNG_MODES`.  ``"replay"`` (the
+        default) replays the reference runner's per-node streams via
+        :class:`DrawStreams` -- the round-exact parity mode this
+        docstring describes.  ``"decoupled"`` evaluates the stateless
+        counter-based hash of
+        :class:`~repro.simulation.rng.DecoupledStreams` instead (and,
+        on the sparse engine, the transmitter-driven reception kernel):
+        much faster at large ``n``, still exactly reproducible from the
+        seeds, but only *distributionally* equivalent to the reference
+        (``tests/test_rng_decoupled.py`` enforces that contract
+        statistically).
     config:
         An :class:`~repro.api.config.ExecutionConfig` describing the
         whole run: the strategy is compiled to the schedule, the round
@@ -239,17 +253,19 @@ class VectorizedCompeteEngine:
         max_rounds: Optional[int] = None,
         draw_block: int = DEFAULT_DRAW_BLOCK,
         engine: str = "auto",
+        rng: str = "replay",
         config=None,
     ) -> None:
         if config is not None:
             if (decay_steps is not None or schedule is not None
                     or max_rounds is not None or engine != "auto"
-                    or draw_block != DEFAULT_DRAW_BLOCK):
+                    or draw_block != DEFAULT_DRAW_BLOCK
+                    or rng != "replay"):
                 raise ConfigurationError(
                     "pass either config= or the explicit decay_steps/"
-                    "schedule/max_rounds/engine/draw_block keywords, not "
-                    "both (the config carries its own engine and "
-                    "draw_block)"
+                    "schedule/max_rounds/engine/draw_block/rng keywords, "
+                    "not both (the config carries its own engine, "
+                    "draw_block and rng)"
                 )
             # api sits above simulation in the layering, so the import
             # is local; resolution applies the density heuristic once.
@@ -260,6 +276,7 @@ class VectorizedCompeteEngine:
             max_rounds = resolved.parameters.total_rounds
             engine = resolved.engine
             draw_block = config.draw_block
+            rng = config.rng
         if max_rounds is None:
             raise ConfigurationError(
                 "max_rounds is required when no config is given"
@@ -272,6 +289,11 @@ class VectorizedCompeteEngine:
             raise ConfigurationError(f"decay_steps must be >= 1, got {decay_steps}")
         if max_rounds < 0:
             raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+        if rng not in RNG_MODES:
+            raise ConfigurationError(
+                f"rng must be one of {RNG_MODES}, got {rng!r}"
+            )
+        self._rng = rng
         self._engine = engine = resolve_engine(
             engine, graph.num_nodes, graph.num_edges
         )
@@ -299,6 +321,24 @@ class VectorizedCompeteEngine:
             )
         self._max_rounds = max_rounds
         self._draw_block = draw_block
+        if rng == "decoupled":
+            # Pre-scale the probability cycle to integer thresholds so
+            # the hot loop compares the raw hash words directly: with
+            # draw mantissa ``m = bits >> 11``, ``m * 2**-53 < p`` iff
+            # ``m < t = ceil(p * 2**53)`` iff ``bits < t << 11``.  The
+            # one inexact corner is ``p >= 1`` (threshold saturates at
+            # 2**64 - 1, missing the all-ones word with probability
+            # 2**-64 per draw); Decay probabilities never exceed 1/2.
+            mantissa_thresholds = np.ceil(
+                np.clip(self._probabilities, 0.0, 1.0) * 2.0 ** 53
+            ).astype(np.uint64)
+            self._thresholds = np.where(
+                mantissa_thresholds >= np.uint64(2 ** 53),
+                np.iinfo(np.uint64).max,
+                mantissa_thresholds << np.uint64(11),
+            )
+        else:
+            self._thresholds = None
 
     @property
     def nodes(self) -> tuple:
@@ -310,17 +350,23 @@ class VectorizedCompeteEngine:
         """The kernel actually selected: ``"dense"`` or ``"sparse"``."""
         return self._engine
 
+    @property
+    def rng(self) -> str:
+        """The randomness policy: ``"replay"`` or ``"decoupled"``."""
+        return self._rng
+
     def _round_reception(
         self, transmit: np.ndarray, ranks: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """One round's reception outcome under the selected kernel.
 
-        Returns ``(unique, collided, silent_air, received)``: per
-        (trial, node) whether exactly one / two-or-more / zero neighbours
-        transmitted, and the transmitted-rank sum (meaningful only where
-        ``unique``).  Both kernels compute identical values -- the dense
-        one as float matrix products (exact below the dtype's integer
-        range, see ``__init__``), the sparse one as int64 segment sums.
+        Returns ``(unique, collided, received)``: per (trial, node)
+        whether exactly one / two-or-more neighbours transmitted, and
+        the transmitted-rank sum (meaningful only where ``unique``).
+        Silent air is the complement of the two masks.  Both kernels
+        compute identical values -- the dense one as float matrix
+        products (exact below the dtype's integer range, see
+        ``__init__``), the sparse one as int64 segment sums.
         """
         if self._engine == "dense":
             adjacency = self._adjacency
@@ -329,14 +375,20 @@ class VectorizedCompeteEngine:
             received = (
                 (transmit_f * ranks.astype(adjacency.dtype)) @ adjacency
             ).astype(np.int64)
-            return (
-                counts == 1.0,
-                counts >= 2.0,
-                counts == 0.0,
-                received,
+            return counts == 1.0, counts >= 2.0, received
+        if self._rng == "decoupled":
+            # The decoupled fast mode pairs the hash RNG with the
+            # transmitter-driven kernel (identical values, far less
+            # gather work); replay keeps the original all-edges kernel
+            # so the reference-parity path stays byte-identical.
+            counts, received = self._csr.transmitter_counts_and_rank_sums(
+                transmit, ranks
             )
-        counts, received = self._csr.counts_and_rank_sums(transmit, ranks)
-        return counts == 1, counts >= 2, counts == 0, received
+        else:
+            counts, received = self._csr.counts_and_rank_sums(
+                transmit, ranks
+            )
+        return counts == 1, counts >= 2, received
 
     def run_batch(
         self,
@@ -407,41 +459,73 @@ class VectorizedCompeteEngine:
                 transmissions, receptions, collisions, idle_listens,
             )
 
-        streams = DrawStreams(seeds, len(self._nodes), self._draw_block)
+        replay = self._rng == "replay"
+        if replay:
+            streams = DrawStreams(seeds, len(self._nodes), self._draw_block)
+        else:
+            streams = DecoupledStreams(seeds, len(self._nodes))
 
         cycle_length = self._probabilities.shape[0]
+        num_nodes = len(self._nodes)
         for round_number in range(self._max_rounds):
             probability = self._probabilities[round_number % cycle_length]
 
-            informed = (ranks > NO_MESSAGE) & active[:, None]
-            draws = streams.take(informed.ravel()).reshape(informed.shape)
-            transmit = informed & (draws < probability[None, :])
+            # Masking by ``active`` only matters once some trial has
+            # saturated; while all are live the cheap form is identical.
+            if active.all():
+                informed = ranks > NO_MESSAGE
+            else:
+                informed = (ranks > NO_MESSAGE) & active[:, None]
+            if replay:
+                draws = streams.take(informed.ravel()).reshape(informed.shape)
+                transmit = informed & (draws < probability[None, :])
+            else:
+                transmit = informed & (
+                    streams.bits(round_number)
+                    < self._thresholds[round_number % cycle_length]
+                )
 
-            unique, collided, silent_air, received = self._round_reception(
+            unique, collided, received = self._round_reception(
                 transmit, ranks
             )
-            # Half-duplex: a transmitter hears nothing this round.
-            received_ranks = np.where(unique & ~transmit, received, NO_MESSAGE)
+            # Half-duplex: a transmitter hears nothing this round, so
+            # only non-transmitting nodes with a unique transmitting
+            # neighbour receive (or, at >= 2, observe a collision).
+            not_transmitting = ~transmit
+            receiving = unique & not_transmitting
+            received_ranks = np.where(receiving, received, NO_MESSAGE)
 
             improved = received_ranks > ranks
-            adopted[improved] = round_number
-            np.maximum(ranks, received_ranks, out=ranks)
+            if improved.any():
+                adopted[improved] = round_number
+                np.maximum(ranks, received_ranks, out=ranks)
+                saturation_may_change = True
+            else:
+                # No rank moved: saturation cannot have changed either.
+                saturation_may_change = False
 
-            listening = ~transmit & active[:, None]
+            transmit_counts = transmit.sum(axis=1)
+            reception_counts = receiving.sum(axis=1)
+            collision_counts = (collided & not_transmitting).sum(axis=1)
             rounds[active] += 1
-            transmissions += np.where(active, transmit.sum(axis=1), 0)
-            receptions += np.where(active, (listening & unique).sum(axis=1), 0)
-            collisions += np.where(
-                active, (listening & collided).sum(axis=1), 0
-            )
+            transmissions += np.where(active, transmit_counts, 0)
+            receptions += np.where(active, reception_counts, 0)
+            collisions += np.where(active, collision_counts, 0)
+            # Every non-transmitter listens, and unique/collided/silent
+            # air partition what it hears -- so idle listens are the
+            # listeners the other two counters did not claim.
             idle_listens += np.where(
-                active, (listening & silent_air).sum(axis=1), 0
+                active,
+                num_nodes - transmit_counts
+                - reception_counts - collision_counts,
+                0,
             )
 
-            saturated = saturated_now()
-            active &= ~saturated
-            if not active.any():
-                break
+            if saturation_may_change:
+                saturated = saturated_now()
+                active &= ~saturated
+                if not active.any():
+                    break
 
         return self._outcome(
             rounds, saturated, ranks, adopted,

@@ -1,0 +1,169 @@
+"""Pure-NumPy two-sample and goodness-of-fit tests for the rng layer.
+
+The decoupled counter rng (``repro.simulation.rng``) does not reproduce
+the reference runner's draws, so replay-vs-decoupled agreement cannot be
+asserted round-exactly -- it is a *distributional* claim: both policies
+must induce the same completion-round distribution on every scenario.
+This module supplies the machinery that ``tests/test_rng_decoupled.py``
+uses to pin that claim: a two-sample Kolmogorov-Smirnov test (sensitive
+to any CDF difference), a Mann-Whitney U test (sensitive to location
+shifts, the failure mode a biased draw stream would actually produce),
+and a chi-squared uniformity test for the raw draws themselves.
+
+Everything here is deterministic, dependency-free (no SciPy in the
+image) and uses standard asymptotic approximations:
+
+- KS p-values via the Kolmogorov distribution's series
+  ``Q(λ) = 2 Σ (-1)^{k-1} exp(-2 k² λ²)`` with the Stephens small-sample
+  correction ``λ = (√m + 0.12 + 0.11/√m) d`` (m the effective sample
+  size) -- accurate to ~1e-3 for the sample sizes used here.
+- Mann-Whitney p-values via the normal approximation with tie
+  correction and a 0.5 continuity correction, two-sided.
+- Chi-squared p-values via the Wilson-Hilferty cube-root normal
+  approximation.
+
+The test layer pre-registers its alpha (see ``tests/test_rng_decoupled.py``)
+and uses fixed seeds, so a failure is a real regression, not noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ks_2samp",
+    "mann_whitney_u",
+    "chi_squared_uniform",
+    "normal_sf",
+]
+
+
+def _as_float_array(values: Sequence[float], name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size < 1:
+        raise ValueError(f"{name} must be non-empty")
+    return array
+
+
+def normal_sf(z: float) -> float:
+    """Standard-normal survival function ``P(Z > z)`` via ``erfc``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _kolmogorov_sf(statistic: float, size_x: int, size_y: int) -> float:
+    """Two-sided KS p-value: Kolmogorov SF with Stephens' correction."""
+    effective = size_x * size_y / (size_x + size_y)
+    root = math.sqrt(effective)
+    lam = (root + 0.12 + 0.11 / root) * statistic
+    if lam <= 0.0:
+        return 1.0
+    # The alternating series converges in a handful of terms for any
+    # lambda that matters; 100 is a safe hard cap.
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-10:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def ks_2samp(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Two-sample Kolmogorov-Smirnov test.
+
+    Returns ``(statistic, p_value)``: the max absolute difference
+    between the two empirical CDFs and the (approximate, two-sided)
+    probability of a difference at least that large under the null that
+    both samples share one distribution.
+    """
+    x = np.sort(_as_float_array(x, "x"))
+    y = np.sort(_as_float_array(y, "y"))
+    # Evaluate both empirical CDFs on the pooled support.
+    pooled = np.concatenate([x, y])
+    cdf_x = np.searchsorted(x, pooled, side="right") / x.size
+    cdf_y = np.searchsorted(y, pooled, side="right") / y.size
+    statistic = float(np.max(np.abs(cdf_x - cdf_y)))
+    return statistic, _kolmogorov_sf(statistic, x.size, y.size)
+
+
+def _average_ranks(pooled: np.ndarray) -> np.ndarray:
+    """Ranks 1..N with ties sharing their average rank (midranks)."""
+    order = np.argsort(pooled, kind="mergesort")
+    ranks = np.empty(pooled.size, dtype=np.float64)
+    sorted_values = pooled[order]
+    index = 0
+    while index < pooled.size:
+        stop = index
+        while (
+            stop + 1 < pooled.size
+            and sorted_values[stop + 1] == sorted_values[index]
+        ):
+            stop += 1
+        # Positions index..stop (0-based) hold one tie group; their
+        # 1-based ranks average to (index + stop) / 2 + 1.
+        ranks[order[index : stop + 1]] = (index + stop) / 2.0 + 1.0
+        index = stop + 1
+    return ranks
+
+
+def mann_whitney_u(
+    x: Sequence[float], y: Sequence[float]
+) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test (normal approximation).
+
+    Returns ``(U, p_value)`` where ``U`` is the statistic of the first
+    sample.  Uses midranks, the tie-corrected variance, and a 0.5
+    continuity correction -- the standard large-sample recipe, fine for
+    the dozens-to-hundreds of trials the rng tests draw.
+    """
+    x = _as_float_array(x, "x")
+    y = _as_float_array(y, "y")
+    size_x, size_y = x.size, y.size
+    pooled = np.concatenate([x, y])
+    ranks = _average_ranks(pooled)
+    rank_sum_x = float(ranks[:size_x].sum())
+    u_x = rank_sum_x - size_x * (size_x + 1) / 2.0
+    mean = size_x * size_y / 2.0
+    total = size_x + size_y
+    # Tie correction: subtract sum(t³ - t) over tie groups.
+    _, counts = np.unique(pooled, return_counts=True)
+    tie_term = float(((counts.astype(np.float64) ** 3) - counts).sum())
+    variance = (
+        size_x * size_y / 12.0
+    ) * ((total + 1) - tie_term / (total * (total - 1)))
+    if variance <= 0.0:
+        # Every pooled value identical: the samples agree trivially.
+        return u_x, 1.0
+    z = (abs(u_x - mean) - 0.5) / math.sqrt(variance)
+    return u_x, min(1.0, 2.0 * normal_sf(max(0.0, z)))
+
+
+def chi_squared_uniform(
+    values: Sequence[float], bins: int = 16
+) -> tuple[float, float]:
+    """Chi-squared goodness-of-fit of ``values`` against U[0, 1).
+
+    Returns ``(statistic, p_value)`` with the p-value from the
+    Wilson-Hilferty approximation.  Used to smoke-check the counter
+    rng's marginal uniformity with a pre-registered bin count.
+    """
+    values = _as_float_array(values, "values")
+    if bins < 2:
+        raise ValueError(f"bins must be >= 2, got {bins}")
+    if values.min() < 0.0 or values.max() >= 1.0:
+        raise ValueError("values must lie in [0, 1)")
+    observed = np.bincount(
+        np.minimum((values * bins).astype(np.int64), bins - 1),
+        minlength=bins,
+    )
+    expected = values.size / bins
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    dof = bins - 1
+    # Wilson-Hilferty: (X/k)^(1/3) is ~ normal with mean 1 - 2/(9k) and
+    # variance 2/(9k).
+    scale = 2.0 / (9.0 * dof)
+    z = ((statistic / dof) ** (1.0 / 3.0) - (1.0 - scale)) / math.sqrt(scale)
+    return statistic, normal_sf(z)

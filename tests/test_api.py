@@ -33,6 +33,7 @@ from repro.simulation.sparse import (
     SPARSE_DENSITY_CUTOFF,
     resolve_engine,
     select_engine,
+    sparse_crossover_edges,
 )
 from repro.simulation.vectorized import VectorizedCompeteEngine
 
@@ -66,7 +67,14 @@ def test_config_validation_rejects_bad_axes():
     with pytest.raises(ConfigurationError, match="draw_block"):
         ExecutionConfig(draw_block=0)
     with pytest.raises(ConfigurationError, match="rng"):
-        ExecutionConfig(rng="decoupled")
+        ExecutionConfig(rng="quantum")
+    # "decoupled" is a valid policy but only for the vectorized backend:
+    # the reference runner is *defined* by its per-node stream replay.
+    with pytest.raises(ConfigurationError, match="decoupled"):
+        ExecutionConfig(rng="decoupled", backend="reference")
+    assert ExecutionConfig(
+        rng="decoupled", backend="vectorized"
+    ).rng == "decoupled"
     with pytest.raises(ConfigurationError, match="parameters"):
         ExecutionConfig(parameters="not-parameters")
 
@@ -147,8 +155,13 @@ def test_engine_crossover_regression():
     assert DENSE_NODE_CUTOFF == 1024 and SPARSE_DENSITY_CUTOFF == 0.125
     assert select_engine(DENSE_NODE_CUTOFF, DENSE_NODE_CUTOFF - 1) == "dense"
     assert select_engine(DENSE_NODE_CUTOFF + 1, DENSE_NODE_CUTOFF) == "sparse"
+    # sparse_crossover_edges is the one exported statement of where the
+    # density boundary sits; pin its concrete values so a cutoff change
+    # cannot land without touching this line.
     n = 2048
-    boundary = int(SPARSE_DENSITY_CUTOFF * n * (n - 1) / 2)
+    boundary = sparse_crossover_edges(n)
+    assert boundary == 262016
+    assert sparse_crossover_edges(4096) == 1048320
     assert select_engine(n, boundary - 1) == "sparse"
     assert select_engine(n, boundary) == "dense"
     # resolve_engine (the funnel resolve_execution applies) agrees with

@@ -131,6 +131,42 @@ def test_engine_field_round_trips_and_validates():
                  engine="gpu")
 
 
+def test_rng_field_round_trips_and_validates():
+    decoupled = Scenario(
+        name="x-decoupled", description="", family="path",
+        topology_args={"num_nodes": 8}, algorithm="broadcast",
+        rng="decoupled",
+    )
+    assert Scenario.from_dict(decoupled.to_dict()).rng == "decoupled"
+    assert decoupled.execution_config().rng == "decoupled"
+    # The per-call override wins without mutating the scenario.
+    assert decoupled.execution_config(rng="replay").rng == "replay"
+    # Dicts without an rng key (pre-PR-6 artifacts) default to replay.
+    legacy = decoupled.to_dict()
+    del legacy["rng"]
+    assert Scenario.from_dict(legacy).rng == "replay"
+    with pytest.raises(ConfigurationError, match="rng"):
+        Scenario(name="x", description="", family="path",
+                 topology_args={"num_nodes": 8}, algorithm="broadcast",
+                 rng="quantum")
+
+
+def test_decoupled_regime_scenarios_are_registered():
+    # The n ~ 10^5 sweep the decoupled rng opens, plus the n=16384
+    # replay/decoupled twin used to pin the speedup headline.
+    for name in ("broadcast-grid-n16384-decoupled",
+                 "broadcast-grid-n1e5", "broadcast-gnp-n1e5"):
+        scenario = get_scenario(name)
+        assert scenario.rng == "decoupled"
+        assert "decoupled" in scenario.tags
+        assert "smoke" not in scenario.tags
+    twin = get_scenario("broadcast-grid-n16384-decoupled")
+    replay_twin = get_scenario("broadcast-grid-n16384")
+    assert twin.topology_args == replay_twin.topology_args
+    assert twin.trials == replay_twin.trials
+    assert twin.seed == replay_twin.seed
+
+
 def test_sparse_regime_scenarios_are_registered():
     # The n >= 4096 sweep the sparse engine opens: path/grid/tree/gnp at
     # both scales, auto engine (the density heuristic selects sparse),
@@ -318,6 +354,82 @@ def test_run_benchmark_rejects_bad_trial_overrides():
         run_benchmark(TINY, trials=0)
     with pytest.raises(ConfigurationError, match="reference_trials"):
         run_benchmark(TINY, reference_trials=-1)
+    with pytest.raises(ConfigurationError, match="workers"):
+        run_benchmark(TINY, workers=0)
+
+
+def test_run_benchmark_records_rng_and_workers():
+    payload = run_benchmark(TINY, include_reference=False)
+    validate_bench(payload)
+    assert payload["rng"] == "replay"
+    assert payload["workers"] == 1
+    assert payload["scenario"]["rng"] == "replay"
+
+
+def test_run_benchmark_workers_is_deterministic():
+    # The sharded run must produce the identical payload body: results,
+    # trial bookkeeping, everything except timing and the recorded
+    # worker count.
+    solo = run_benchmark(TINY, include_reference=False, workers=1)
+    sharded = run_benchmark(TINY, include_reference=False, workers=2)
+    validate_bench(sharded)
+    assert sharded["workers"] == 2
+    assert sharded["results"] == solo["results"]
+    assert sharded["trials"] == solo["trials"]
+    # More workers than trials: the extra processes are not spawned.
+    overshard = run_benchmark(TINY, include_reference=False, workers=99)
+    assert overshard["workers"] == TINY.trials
+    assert overshard["results"] == solo["results"]
+
+
+def test_run_benchmark_decoupled_rng():
+    config = TINY.execution_config(rng="decoupled")
+    payload = run_benchmark(TINY, config=config)
+    validate_bench(payload)
+    assert payload["rng"] == "decoupled"
+    # The reference pass still ran (for the timing headline) but parity
+    # was not checked: decoupled draws differ from replayed streams by
+    # design, so the artifact must not claim round-exact agreement.
+    assert payload["trials"]["reference"] > 0
+    assert payload["timing"]["speedup"] is not None
+    assert payload["agreement"] == {"checked_trials": 0, "round_exact": False}
+    # Decoupled results are seed-stable: same config, same numbers.
+    again = run_benchmark(TINY, config=config, include_reference=False)
+    assert again["results"] == payload["results"]
+    # ...and differ from replay's (different draw policy).
+    replay = run_benchmark(TINY, include_reference=False)
+    assert replay["results"] != payload["results"]
+
+
+def test_validate_bench_rejects_bad_rng_and_workers_fields():
+    payload = run_benchmark(TINY, include_reference=False)
+
+    def corrupt(mutate):
+        broken = copy.deepcopy(payload)
+        mutate(broken)
+        with pytest.raises(ConfigurationError, match="bench payload invalid"):
+            validate_bench(broken)
+
+    corrupt(lambda p: p.update(rng="quantum"))
+    corrupt(lambda p: p.update(workers=0))
+    corrupt(lambda p: p["scenario"].update(rng="quantum"))
+
+    # A decoupled artifact claiming checked round-exact agreement lies.
+    decoupled = run_benchmark(
+        TINY, config=TINY.execution_config(rng="decoupled")
+    )
+    corrupted = copy.deepcopy(decoupled)
+    corrupted["agreement"].update(checked_trials=1, round_exact=True)
+    corrupted["trials"].update(reference=1)
+    with pytest.raises(ConfigurationError, match="decoupled"):
+        validate_bench(corrupted)
+
+    # Pre-PR-6 artifacts (no rng/workers fields) still validate.
+    legacy = copy.deepcopy(payload)
+    legacy.pop("rng")
+    legacy.pop("workers")
+    legacy["scenario"].pop("rng")
+    validate_bench(legacy)
 
 
 def test_bench_filename_sanitises():
@@ -377,6 +489,21 @@ def test_cli_engine_flag(tmp_path, capsys):
         (tmp_path / "bench" / "BENCH_broadcast-path-n32.json").read_text()
     )
     assert payload["engine"] == {"requested": "sparse", "selected": "sparse"}
+
+
+def test_cli_rng_and_workers_flags(tmp_path, capsys):
+    out_dir = str(tmp_path / "bench")
+    assert main([
+        "run", "broadcast-grid-n64",
+        "--trials", "2", "--rng", "decoupled", "--workers", "2",
+        "--skip-reference", "--out", out_dir,
+    ]) == 0
+    payload = json.loads(
+        (tmp_path / "bench" / "BENCH_broadcast-grid-n64.json").read_text()
+    )
+    assert payload["rng"] == "decoupled"
+    assert payload["workers"] == 2
+    assert payload["agreement"]["checked_trials"] == 0
 
 
 def test_cli_sweep_with_limit(tmp_path, capsys):

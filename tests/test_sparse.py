@@ -18,6 +18,7 @@ from repro.simulation.sparse import (
     CSRAdjacency,
     edge_density,
     select_engine,
+    sparse_crossover_edges,
 )
 
 
@@ -143,6 +144,46 @@ def test_counts_on_edgeless_graph_are_zero():
     assert not counts.any() and not sums.any()
 
 
+@pytest.mark.parametrize("seed", range(6))
+def test_transmitter_kernel_is_identical_to_all_edges_kernel(seed):
+    # The transmitter-driven kernel (the decoupled-rng hot path) must be
+    # bit-identical to the all-edges gather on every input -- it is an
+    # optimization, never an approximation.  Random graphs with isolated
+    # nodes, random transmit patterns from empty to full.
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 40))
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.15:
+                graph.add_edge(u, v)
+    csr, _ = CSRAdjacency.from_graph(graph)
+    trials = 3
+    ranks = rng.integers(0, 10 * n, size=(trials, n)).astype(np.int64)
+    for density in (0.0, 0.05, 0.5, 1.0):
+        transmit = rng.random((trials, n)) < density
+        expected = csr.counts_and_rank_sums(transmit, ranks)
+        actual = csr.transmitter_counts_and_rank_sums(transmit, ranks)
+        assert actual[0].dtype == np.int64 and actual[1].dtype == np.int64
+        assert np.array_equal(actual[0], expected[0])
+        assert np.array_equal(actual[1], expected[1])
+
+
+def test_transmitter_kernel_empty_and_edgeless_cases():
+    # No transmitters at all: the early-out path.
+    csr, _ = CSRAdjacency.from_graph(topology.path_graph(5))
+    silent = np.zeros((2, 5), dtype=bool)
+    ranks = np.arange(10, dtype=np.int64).reshape(2, 5)
+    counts, sums = csr.transmitter_counts_and_rank_sums(silent, ranks)
+    assert not counts.any() and not sums.any()
+    assert counts.shape == (2, 5)
+    # Transmitters whose CSR rows are all empty: the total==0 path.
+    edgeless, _ = CSRAdjacency.from_graph(Graph(nodes=range(5)))
+    loud = np.ones((2, 5), dtype=bool)
+    counts, sums = edgeless.transmitter_counts_and_rank_sums(loud, ranks)
+    assert not counts.any() and not sums.any()
+
+
 # ----------------------------------------------------------------------
 # engine selection heuristic
 # ----------------------------------------------------------------------
@@ -159,9 +200,13 @@ def test_select_engine_heuristic():
     assert select_engine(8, 7) == "dense"
     assert select_engine(DENSE_NODE_CUTOFF, DENSE_NODE_CUTOFF - 1) == "dense"
     # Large sparse graphs go sparse; large dense graphs stay dense.
+    # sparse_crossover_edges is the canonical boundary: one edge below
+    # it is the last sparse count, at it the heuristic flips to dense.
     n = DENSE_NODE_CUTOFF + 1
-    sparse_edges = n  # density ~ 2/n, far below the cutoff
-    dense_edges = int(SPARSE_DENSITY_CUTOFF * n * (n - 1) / 2) + n
-    assert select_engine(n, sparse_edges) == "sparse"
-    assert select_engine(n, dense_edges) == "dense"
+    assert select_engine(n, n) == "sparse"  # density ~ 2/n
+    crossover = sparse_crossover_edges(n)
+    assert select_engine(n, crossover - 1) == "sparse"
+    assert select_engine(n, crossover) == "dense"
     assert select_engine(16384, 16383) == "sparse"  # the ROADMAP regime
+    with pytest.raises(ConfigurationError):
+        sparse_crossover_edges(1)
