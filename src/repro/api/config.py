@@ -45,6 +45,8 @@ so old call sites produce bit-for-bit identical runs while they migrate.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import warnings
 from typing import Any, Optional, Union
 
@@ -215,6 +217,25 @@ class ExecutionConfig:
             "margin": self.margin,
             "rng": self.rng,
         }
+
+    def identity(self) -> str:
+        """A short stable digest of the config's execution axes.
+
+        Two configs share an identity exactly when :meth:`describe`
+        agrees -- backend, engine, strategy, collision model, margin and
+        rng policy.  The benchmark report subsystem uses this as the
+        join key when matching a candidate artifact to its committed
+        baseline, so the digest must stay stable across processes and
+        releases (it hashes the canonical JSON form, never ``repr``).
+
+        >>> ExecutionConfig().identity() == ExecutionConfig().identity()
+        True
+        >>> ExecutionConfig().identity() != ExecutionConfig(
+        ...     strategy="clustered").identity()
+        True
+        """
+        canonical = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 class ResolvedExecution:

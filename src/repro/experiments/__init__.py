@@ -17,8 +17,15 @@ paper's clustering machinery) is judged against.
 * :mod:`repro.experiments.persistence` -- the ``repro-bench/1`` JSON
   schema (:func:`validate_bench`, :func:`write_bench`,
   :func:`load_bench`).
+* :mod:`repro.experiments.report` -- the trend-report / regression-gate
+  layer: :func:`compare_artifact_sets` joins a candidate artifact set
+  against a committed baseline by scenario + config identity,
+  :func:`render_markdown` emits the deterministic markdown + SVG trend
+  report, and the :class:`NoiseBands` policy turns the comparison into
+  an ``ok`` / ``regression`` verdict CI can gate on.
 * :mod:`repro.experiments.cli` -- the ``python -m repro.experiments``
-  command line (``list`` / ``run`` / ``sweep`` / ``validate``).
+  command line (``list`` / ``run`` / ``sweep`` / ``validate`` /
+  ``report``).
 
 See ``docs/EXPERIMENTS.md`` for the guide, including how to register a
 new scenario.
@@ -31,6 +38,17 @@ from repro.experiments.persistence import (
     load_bench,
     validate_bench,
     write_bench,
+)
+from repro.experiments.report import (
+    DEFAULT_TIMING_TOLERANCE,
+    NoiseBands,
+    TrendReport,
+    artifact_identity,
+    build_report,
+    compare_artifact_sets,
+    load_artifact_set,
+    render_markdown,
+    verdict_payload,
 )
 from repro.experiments.scenarios import (
     DEFAULT_REGISTRY,
@@ -54,14 +72,23 @@ __all__ = [
     "ALGORITHMS",
     "DEFAULT_REFERENCE_TRIALS",
     "DEFAULT_REGISTRY",
+    "DEFAULT_TIMING_TOLERANCE",
+    "NoiseBands",
     "SCHEMA_VERSION",
     "Scenario",
     "ScenarioRegistry",
+    "TrendReport",
+    "artifact_identity",
     "bench_filename",
+    "build_report",
+    "compare_artifact_sets",
     "get_scenario",
     "iter_scenarios",
+    "load_artifact_set",
     "load_bench",
+    "render_markdown",
     "run_benchmark",
     "validate_bench",
+    "verdict_payload",
     "write_bench",
 ]

@@ -355,25 +355,31 @@ def _check_agreement(
 
 
 def _aggregate(scenario: Scenario, results: Sequence) -> dict[str, Any]:
-    """Summarise per-trial series into the payload's ``results`` block."""
+    """Summarise per-trial series into the payload's ``results`` block.
+
+    Since PR 7 the block also records the raw per-trial values
+    (``results.per_trial``): the trend-report subsystem derives
+    percentiles and sparklines from them, and the golden-artifact test
+    layer re-derives every summary statistic, so a drift between the
+    series and its summary can never persist.
+    """
     successes = sum(1 for result in results if result.success)
-    stats: dict[str, Any] = {
-        "success_rate": successes / len(results),
-        "rounds": _series([result.rounds for result in results]),
-        "transmissions": _series(
-            [result.metrics.transmissions for result in results]
-        ),
-        "receptions": _series(
-            [result.metrics.receptions for result in results]
-        ),
-        "collisions": _series(
-            [result.metrics.collisions for result in results]
-        ),
+    series: dict[str, list] = {
+        "rounds": [result.rounds for result in results],
+        "transmissions": [result.metrics.transmissions for result in results],
+        "receptions": [result.metrics.receptions for result in results],
+        "collisions": [result.metrics.collisions for result in results],
     }
     for attribute in DEFAULT_ALGORITHMS.get(scenario.algorithm).extra_series:
-        stats[attribute] = _series(
-            [getattr(result, attribute) for result in results]
-        )
+        series[attribute] = [getattr(result, attribute) for result in results]
+    stats: dict[str, Any] = {
+        "success_rate": successes / len(results),
+    }
+    for key, values in series.items():
+        stats[key] = _series(values)
+    stats["per_trial"] = dict(
+        series, success=[bool(result.success) for result in results]
+    )
     return stats
 
 

@@ -16,6 +16,16 @@ Subcommands
 ``validate``
     Load ``BENCH_*.json`` files and check them against the documented
     schema; exits non-zero on the first invalid file (CI uses this).
+``report``
+    Compare a candidate artifact directory against a committed baseline
+    set: emit a deterministic markdown + SVG trend report and an
+    ``ok`` / ``regression`` verdict under the pre-registered noise
+    bands (CI's ``perf-gate`` job fails the build on regressions via
+    ``--fail-on-regression``).
+
+Every subcommand reports bad inputs -- unknown scenarios, unreadable or
+malformed artifact files -- as a one-line ``error: ...`` on stderr with
+a non-zero exit code, never a traceback.
 
 See ``docs/EXPERIMENTS.md`` for a guided tour.
 """
@@ -24,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -31,6 +42,13 @@ from repro.errors import ReproError
 from repro.api import DEFAULT_ALGORITHMS
 from repro.experiments.bench import run_benchmark
 from repro.experiments.persistence import load_bench, write_bench
+from repro.experiments.report import (
+    DEFAULT_TIMING_TOLERANCE,
+    NoiseBands,
+    build_report,
+    dump_verdict,
+    render_markdown,
+)
 from repro.experiments.scenarios import DEFAULT_REGISTRY, Scenario
 
 #: Default output directory for benchmark artifacts.
@@ -82,6 +100,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_parser.add_argument(
         "paths", nargs="+", help="bench files to validate"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="compare candidate artifacts against a baseline set and "
+             "emit a trend report + ok/regression verdict",
+    )
+    report_parser.add_argument(
+        "candidate",
+        help="candidate artifact directory (or a single BENCH_*.json)",
+    )
+    report_parser.add_argument(
+        "--against", default=DEFAULT_OUTPUT_DIR, metavar="DIR",
+        help="baseline artifact directory or file "
+             f"(default: {DEFAULT_OUTPUT_DIR})",
+    )
+    report_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the markdown report here (default: print to stdout)",
+    )
+    report_parser.add_argument(
+        "--verdict-json", default=None, metavar="FILE",
+        help="also write the machine-readable verdict document here",
+    )
+    report_parser.add_argument(
+        "--timing-tolerance", type=float, default=DEFAULT_TIMING_TOLERANCE,
+        metavar="X",
+        help="relative wall-clock tolerance: a scenario regresses when "
+             "its (machine-normalized) per-trial time exceeds the "
+             f"baseline's by more than this factor (default: "
+             f"{DEFAULT_TIMING_TOLERANCE})",
+    )
+    report_parser.add_argument(
+        "--no-normalize-timing", action="store_true",
+        help="gate raw timing ratios instead of dividing by the median "
+             "ratio (use for same-machine comparisons)",
+    )
+    report_parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit with status 2 when the verdict is 'regression' "
+             "(what CI's perf-gate job uses)",
     )
     return parser
 
@@ -152,10 +211,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(arguments)
         if arguments.command == "sweep":
             return _command_sweep(arguments)
+        if arguments.command == "report":
+            return _command_report(arguments)
         return _command_validate(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Stdout was closed mid-print (e.g. `report | head`); exit
+        # quietly like any well-behaved filter instead of tracebacking.
+        sys.stderr.close()
+        return 0
 
 
 def _command_list(arguments: argparse.Namespace) -> int:
@@ -272,4 +338,38 @@ def _command_validate(arguments: argparse.Namespace) -> int:
     for path in arguments.paths:
         payload = load_bench(path)
         print(f"{path}: valid ({payload['scenario']['name']})")
+    return 0
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    report = build_report(
+        arguments.against,
+        arguments.candidate,
+        NoiseBands(
+            timing_tolerance=arguments.timing_tolerance,
+            normalize_timing=not arguments.no_normalize_timing,
+        ),
+    )
+    markdown = render_markdown(report)
+    # The report and verdict files are written before the exit code is
+    # decided, so a failing gate still uploads its evidence in CI.
+    if arguments.out is not None:
+        path = pathlib.Path(arguments.out)
+        if path.parent != pathlib.Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(markdown)
+    else:
+        print(markdown)
+    if arguments.verdict_json is not None:
+        dump_verdict(report, arguments.verdict_json)
+    counts = report.counts
+    print(
+        f"verdict: {report.verdict} ({counts['compared']} compared, "
+        f"{counts['regressions']} regression(s), "
+        f"{counts['baseline_only']} baseline-only, "
+        f"{counts['candidate_only']} new)",
+        file=sys.stderr,
+    )
+    if report.verdict == "regression" and arguments.fail_on_regression:
+        return 2
     return 0

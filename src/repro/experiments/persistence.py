@@ -13,6 +13,7 @@ in sync.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import re
 from typing import Any, Mapping, Optional, Union
@@ -62,8 +63,13 @@ def load_bench(path: Union[str, pathlib.Path]) -> dict[str, Any]:
     path = pathlib.Path(path)
     try:
         payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as error:
-        raise ConfigurationError(f"cannot read bench file {path}: {error}")
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        # UnicodeDecodeError is a ValueError, not an OSError: a bench
+        # file with broken encoding must produce the same one-line CLI
+        # error as any other unreadable file, never a traceback.
+        raise ConfigurationError(
+            f"cannot read bench file {path}: {error}"
+        ) from None
     validate_bench(payload)
     return payload
 
@@ -186,10 +192,18 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
     results = _field(payload, "results", Mapping)
     rate = _field(results, "success_rate", (int, float), path="results.success_rate")
     _expect(0.0 <= rate <= 1.0, "results.success_rate", "must be in [0, 1]")
-    for key in ("rounds", "transmissions", "receptions", "collisions"):
-        _series(results, key)
+    series_keys = ["rounds", "transmissions", "receptions", "collisions"]
     if payload["scenario"]["algorithm"] == "leader-election":
-        _series(results, "attempts")
+        series_keys.append("attempts")
+    for key in series_keys:
+        _series(results, key)
+    # The per-trial block was added in PR 7 (the trend-report subsystem
+    # needs the raw series for percentiles and sparklines); optional so
+    # every earlier repro-bench/1 artifact keeps validating.  When
+    # present it must be internally consistent: one value per vectorized
+    # trial, and the summary statistics must be re-derivable from it.
+    if "per_trial" in results:
+        _per_trial(results, series_keys, trials["vectorized"])
 
     timing = _field(payload, "timing", Mapping)
     _number_field(timing, "vectorized_seconds", minimum=0.0, path="timing.vectorized_seconds")
@@ -285,6 +299,62 @@ def _number_field(
     if minimum is not None:
         _expect(value >= minimum, path or key, f"must be >= {minimum}")
     return float(value)
+
+
+def _per_trial(
+    results: Mapping[str, Any], series_keys: list, num_trials: int
+) -> None:
+    """Validate the optional ``results.per_trial`` raw-series block."""
+    per_trial = _field(results, "per_trial", Mapping, path="results.per_trial")
+    success = _field(per_trial, "success", list, path="results.per_trial.success")
+    _expect(
+        len(success) == num_trials,
+        "results.per_trial.success",
+        f"must hold one entry per vectorized trial ({num_trials}), "
+        f"got {len(success)}",
+    )
+    _expect(
+        all(isinstance(value, bool) for value in success),
+        "results.per_trial.success",
+        "entries must be booleans",
+    )
+    derived_rate = sum(1 for value in success if value) / num_trials
+    _expect(
+        math.isclose(derived_rate, results["success_rate"], rel_tol=1e-9,
+                     abs_tol=1e-12),
+        "results.success_rate",
+        f"does not match the per-trial successes (expected {derived_rate})",
+    )
+    for key in series_keys:
+        path = f"results.per_trial.{key}"
+        values = _field(per_trial, key, list, path=path)
+        _expect(
+            len(values) == num_trials,
+            path,
+            f"must hold one entry per vectorized trial ({num_trials}), "
+            f"got {len(values)}",
+        )
+        _expect(
+            all(
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                for value in values
+            ),
+            path,
+            "entries must be numbers",
+        )
+        block = results[key]
+        for stat, derived in (
+            ("mean", sum(values) / num_trials),
+            ("min", min(values)),
+            ("max", max(values)),
+        ):
+            _expect(
+                math.isclose(block[stat], derived, rel_tol=1e-9,
+                             abs_tol=1e-12),
+                f"results.{key}.{stat}",
+                f"does not match the per-trial series (expected {derived})",
+            )
 
 
 def _series(results: Mapping[str, Any], key: str) -> None:

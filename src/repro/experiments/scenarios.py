@@ -452,6 +452,21 @@ def _populate(registry: ScenarioRegistry) -> None:
     add("broadcast-gnp-n16384", "connected G(16384, 0.001)", "gnp",
         {"num_nodes": 16384, "edge_probability": 0.001, "seed": 16384},
         "broadcast", trials=2, tags=("sparse", "xlarge", "random"))
+    # The larger-n *random* family beyond gnp: a random geometric
+    # deployment (the standard ad-hoc wireless abstraction) at the
+    # sparse-regime scale, closing the sweep gap the ROADMAP named.
+    add("broadcast-rgg-n4096",
+        "random geometric deployment on the unit square, n=4096",
+        "geometric", {"num_nodes": 4096, "seed": 4096}, "broadcast",
+        trials=2, tags=("sparse", "random"))
+    # Leader election in the sparse regime: the first election scenario
+    # the CSR engine opens (the reference runner is far out of reach at
+    # this scale, so it is benchmarked with --skip-reference like the
+    # other sparse-regime scenarios).
+    add("election-grid-n4096",
+        "64x64 grid election, n=4096, sparse regime",
+        "grid", {"rows": 64, "cols": 64}, "leader-election",
+        spontaneous=False, trials=2, tags=("sparse",))
 
     # --- decoupled-rng regime: n >= ~10^5 -------------------------------
     # At this scale even the vectorized replay path is dominated by

@@ -98,6 +98,9 @@ CASES = [
          algorithm="broadcast", collision_model=DETECT),
     Case("broadcast-tree-skeleton", lambda: topology.binary_tree_graph(4),
          algorithm="broadcast"),
+    Case("broadcast-rgg-skeleton",
+         lambda: topology.random_geometric_graph(24, seed=5),
+         algorithm="broadcast"),
     # --- leader election: retries + candidate randomness ---------------
     Case("election-grid-skeleton", lambda: topology.grid_graph(4, 4),
          algorithm="election", spontaneous=False, seeds=(0, 3, 9)),
@@ -123,6 +126,16 @@ CASES = [
     Case("broadcast-path-n257-clustered", lambda: topology.path_graph(257),
          algorithm="broadcast", strategy="clustered", seeds=(0,),
          slow=True),
+    # The shapes behind the sparse-regime sweep additions
+    # (broadcast-rgg-n4096 / election-grid-n4096), pinned at the largest
+    # size the reference runner can still join: the benchmark scenarios
+    # themselves run --skip-reference, so these rows are where their
+    # round-exactness is actually enforced.
+    Case("broadcast-rgg-n1024",
+         lambda: topology.random_geometric_graph(1024, seed=1024),
+         algorithm="broadcast", seeds=(0,), slow=True),
+    Case("election-grid-n100", lambda: topology.grid_graph(10, 10),
+         algorithm="election", spontaneous=False, seeds=(0,), slow=True),
 ]
 
 

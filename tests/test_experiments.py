@@ -334,6 +334,17 @@ def test_validate_bench_rejects_corrupted_payloads():
     # A non-auto request must match what ran.
     corrupt(lambda p: p["engine"].update(requested="sparse",
                                          selected="dense"))
+    # The per-trial series block must stay derivable: every series one
+    # entry per trial, summary stats recomputable from the raw values.
+    corrupt(lambda p: p["results"]["per_trial"]["success"].pop())
+    corrupt(lambda p: p["results"]["per_trial"]["success"].__setitem__(0, 1))
+    corrupt(lambda p: p["results"]["per_trial"]["rounds"].pop())
+    corrupt(lambda p: p["results"]["per_trial"].pop("rounds"))
+    corrupt(lambda p: p["results"]["per_trial"]["rounds"].__setitem__(0, "3"))
+    corrupt(lambda p: p["results"]["rounds"].update(
+        mean=p["results"]["rounds"]["mean"] + 1))
+    corrupt(lambda p: p["results"].update(
+        success_rate=1.0 - p["results"]["success_rate"]))
 
     # Pre-PR-3 artifacts (no strategy, no batch fields) still validate.
     legacy = copy.deepcopy(payload)
@@ -346,6 +357,10 @@ def test_validate_bench_rejects_corrupted_payloads():
     # ran the dense engine, the only one that existed).
     legacy.pop("engine")
     legacy["scenario"].pop("engine")
+    validate_bench(legacy)
+
+    # Pre-PR-7 artifacts omit the raw per-trial series block.
+    legacy["results"].pop("per_trial")
     validate_bench(legacy)
 
 

@@ -1,0 +1,183 @@
+"""The golden-artifact test layer: every committed ``BENCH_*.json``.
+
+The committed benchmark baselines are load-bearing twice over -- they
+are the perf-regression gate's comparison set *and* the historical
+record of every headline number the README/CHANGES cite -- so this
+module treats each one as a golden file:
+
+* it must validate against the **current** ``repro-bench/1`` schema
+  (pre-PR-4 / pre-PR-6 artifacts included: their migration notes promise
+  optional fields, and this is where that promise is enforced against
+  real data rather than synthetic fixtures);
+* its summary statistics must be re-derivable from the recorded
+  per-trial series (when present) and internally consistent (timing
+  arithmetic, filename, scenario identity);
+* its scenario block must rebuild through the current code paths --
+  :meth:`Scenario.from_dict`, :meth:`Scenario.execution_config`, the
+  config identity digest -- and agree with the registry's current
+  definition, so a registry edit cannot silently orphan a baseline;
+* its topology block must reproduce from the persisted generator
+  arguments (the scenario block is documented as rebuilding the
+  topology *exactly*; large-``n`` rebuilds carry the ``slow`` marker).
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_REGISTRY,
+    artifact_identity,
+    bench_filename,
+    get_scenario,
+    load_bench,
+    validate_bench,
+)
+from repro.experiments.scenarios import Scenario
+from repro.topology.validation import summarize_topology
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO_ROOT / "benchmarks"
+ARTIFACT_PATHS = sorted(BENCHMARKS.glob("BENCH_*.json"))
+
+#: Above this node count the topology rebuild moves to the slow tier
+#: (exact-diameter verification is O(n*m); CI runs it once per push).
+_FAST_REBUILD_NODES = 2000
+
+#: The scenario-block fields that define what an artifact *measures*;
+#: they must agree with the current registry definition.  Presentation
+#: fields (description, tags) may drift without orphaning a baseline.
+_IDENTITY_FIELDS = (
+    "family", "topology_args", "algorithm", "collision_model",
+    "spontaneous", "strategy", "engine", "rng", "margin", "seed",
+)
+
+
+def _artifact_params():
+    assert ARTIFACT_PATHS, "no committed benchmark artifacts found"
+    for path in ARTIFACT_PATHS:
+        yield pytest.param(path, id=path.stem.replace("BENCH_", ""))
+
+
+def _rebuild_params():
+    for path in ARTIFACT_PATHS:
+        payload = json.loads(path.read_text())
+        marks = (
+            (pytest.mark.slow,)
+            if payload["topology"]["num_nodes"] > _FAST_REBUILD_NODES
+            else ()
+        )
+        yield pytest.param(path, id=path.stem.replace("BENCH_", ""),
+                           marks=marks)
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    # One validated load per artifact for the whole module.
+    return {path: load_bench(path) for path in ARTIFACT_PATHS}
+
+
+@pytest.mark.parametrize("path", _artifact_params())
+def test_validates_against_current_schema(path, payloads):
+    # load_bench already ran validate_bench; pin it explicitly so the
+    # intent survives refactors of the fixture.
+    validate_bench(payloads[path])
+
+
+@pytest.mark.parametrize("path", _artifact_params())
+def test_filename_matches_scenario_name(path, payloads):
+    assert path.name == bench_filename(payloads[path]["scenario"]["name"])
+
+
+@pytest.mark.parametrize("path", _artifact_params())
+def test_scenario_block_rebuilds_through_current_code(path, payloads):
+    payload = payloads[path]
+    scenario = Scenario.from_dict(payload["scenario"])
+    assert scenario.name == payload["scenario"]["name"]
+    config = scenario.execution_config()
+    assert config.backend == "vectorized"
+    identity = artifact_identity(payload)
+    assert identity == config.identity()
+    assert len(identity) == 12 and int(identity, 16) >= 0
+
+
+@pytest.mark.parametrize("path", _artifact_params())
+def test_scenario_block_agrees_with_registry(path, payloads):
+    scenario_block = payloads[path]["scenario"]
+    name = scenario_block["name"]
+    assert name in DEFAULT_REGISTRY, (
+        f"{path.name} refers to scenario {name!r} which is no longer "
+        "registered; delete the stale baseline or restore the scenario"
+    )
+    registered = get_scenario(name).to_dict()
+    for field in _IDENTITY_FIELDS:
+        if field not in scenario_block:
+            continue  # optional pre-migration fields
+        assert scenario_block[field] == registered[field], (
+            f"{path.name}: scenario.{field} drifted from the registry "
+            "definition; the baseline no longer measures the registered "
+            "configuration -- re-run and re-commit it"
+        )
+
+
+@pytest.mark.parametrize("path", _artifact_params())
+def test_timing_block_is_internally_consistent(path, payloads):
+    payload = payloads[path]
+    timing = payload["timing"]
+    trials = payload["trials"]
+    assert math.isclose(
+        timing["vectorized_seconds_per_trial"],
+        timing["vectorized_seconds"] / trials["vectorized"],
+        rel_tol=1e-9,
+    )
+    if trials["reference"] > 0:
+        assert math.isclose(
+            timing["reference_seconds_per_trial"],
+            timing["reference_seconds"] / trials["reference"],
+            rel_tol=1e-9,
+        )
+        assert math.isclose(
+            timing["speedup"],
+            timing["reference_seconds_per_trial"]
+            / timing["vectorized_seconds_per_trial"],
+            rel_tol=1e-9,
+        )
+
+
+@pytest.mark.parametrize("path", _artifact_params())
+def test_summary_statistics_rederive_from_per_trial_series(path, payloads):
+    payload = payloads[path]
+    results = payload["results"]
+    per_trial = results.get("per_trial")
+    if per_trial is None:
+        # Pre-PR-7 artifacts carry summaries only; the schema's
+        # min <= mean <= max invariant is all that can be re-checked,
+        # and validate_bench already enforced it.
+        pytest.skip("artifact predates the per_trial series block")
+    num_trials = payload["trials"]["vectorized"]
+    assert len(per_trial["success"]) == num_trials
+    derived_rate = sum(per_trial["success"]) / num_trials
+    assert results["success_rate"] == derived_rate
+    for key, block in results.items():
+        if key in ("success_rate", "per_trial"):
+            continue
+        series = per_trial[key]
+        assert len(series) == num_trials
+        assert block["mean"] == sum(series) / num_trials
+        assert block["min"] == min(series)
+        assert block["max"] == max(series)
+
+
+@pytest.mark.parametrize("path", _rebuild_params())
+def test_topology_block_reproduces_from_scenario(path, payloads):
+    payload = payloads[path]
+    scenario = Scenario.from_dict(payload["scenario"])
+    graph = scenario.build_graph()
+    recorded = payload["topology"]
+    assert graph.num_nodes == recorded["num_nodes"]
+    assert graph.num_edges == recorded["num_edges"]
+    assert graph.max_degree() == recorded["max_degree"]
+    summary = summarize_topology(graph)
+    assert summary.diameter == recorded["diameter"]
