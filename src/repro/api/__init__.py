@@ -30,6 +30,7 @@ from repro.api.config import (
     ResolvedExecution,
     coerce_execution_config,
     resolve_execution,
+    topology_digest,
 )
 from repro.api.registry import (
     DEFAULT_ALGORITHMS,
@@ -44,6 +45,7 @@ __all__ = [
     "ResolvedExecution",
     "coerce_execution_config",
     "resolve_execution",
+    "topology_digest",
     "DEFAULT_ALGORITHMS",
     "Algorithm",
     "AlgorithmRegistry",

@@ -48,7 +48,7 @@ import dataclasses
 import hashlib
 import json
 import warnings
-from typing import Any, Optional, Union
+from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.network.graph import Graph
@@ -236,6 +236,49 @@ class ExecutionConfig:
         """
         canonical = json.dumps(self.describe(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+    def cache_key(self, topology: str) -> str:
+        """The resolution-cache key for this config on one topology.
+
+        ``topology`` is a topology digest (normally
+        :func:`topology_digest` over a scenario's family + generator
+        arguments).  Two (config, topology) pairs share a key exactly
+        when :meth:`identity` and the digest both agree, so configs that
+        execute identically on *different* graphs -- the classic cache
+        collision -- can never share an entry.  ``repro.service`` keys
+        its compiled-:class:`ResolvedExecution` LRU with this.
+
+        Note the deliberate blind spots, matching :meth:`identity`:
+        ``draw_block`` (a throughput knob that cannot change results)
+        and an explicit ``parameters`` round budget (graph-derived on
+        the service path, where requests arrive as scenario payloads).
+        Callers that pin explicit parameters must not share a cache
+        across different budgets.
+        """
+        return f"{self.identity()}:{topology}"
+
+
+def topology_digest(family: str, topology_args: Mapping[str, Any]) -> str:
+    """A short stable digest identifying one generated topology.
+
+    Hashes the canonical JSON form of the scenario-level description
+    (family name + generator arguments, which for random families pin an
+    explicit seed), i.e. exactly the data a persisted scenario block
+    uses to rebuild the graph -- so equal digests mean the same graph
+    without having to build it first.
+
+    >>> topology_digest("grid", {"rows": 8, "cols": 8}) == topology_digest(
+    ...     "grid", {"cols": 8, "rows": 8})
+    True
+    >>> topology_digest("grid", {"rows": 8, "cols": 8}) != topology_digest(
+    ...     "grid", {"rows": 16, "cols": 16})
+    True
+    """
+    canonical = json.dumps(
+        {"family": family, "topology_args": dict(topology_args)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 class ResolvedExecution:

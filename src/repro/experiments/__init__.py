@@ -31,7 +31,13 @@ See ``docs/EXPERIMENTS.md`` for the guide, including how to register a
 new scenario.
 """
 
-from repro.experiments.bench import DEFAULT_REFERENCE_TRIALS, run_benchmark
+from repro.experiments.bench import (
+    DEFAULT_REFERENCE_TRIALS,
+    PreparedScenario,
+    merge_benchmark_batches,
+    prepare_scenario,
+    run_benchmark,
+)
 from repro.experiments.persistence import (
     SCHEMA_VERSION,
     bench_filename,
@@ -74,6 +80,7 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "DEFAULT_TIMING_TOLERANCE",
     "NoiseBands",
+    "PreparedScenario",
     "SCHEMA_VERSION",
     "Scenario",
     "ScenarioRegistry",
@@ -86,6 +93,8 @@ __all__ = [
     "iter_scenarios",
     "load_artifact_set",
     "load_bench",
+    "merge_benchmark_batches",
+    "prepare_scenario",
     "render_markdown",
     "run_benchmark",
     "validate_bench",

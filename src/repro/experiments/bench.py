@@ -11,6 +11,7 @@ backends can never hide inside a performance number.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import datetime
 import platform
 import time
@@ -20,8 +21,14 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.topology.validation import summarize_topology
-from repro.api import DEFAULT_ALGORITHMS, ExecutionConfig, resolve_execution
+from repro.network.graph import Graph
+from repro.topology.validation import TopologySummary, summarize_topology
+from repro.api import (
+    DEFAULT_ALGORITHMS,
+    ExecutionConfig,
+    ResolvedExecution,
+    resolve_execution,
+)
 from repro.core.leader_election import LeaderElectionResult
 from repro.core.parameters import CompeteParameters
 from repro.experiments.persistence import SCHEMA_VERSION
@@ -29,6 +36,70 @@ from repro.experiments.scenarios import Scenario
 
 #: Reference trials re-run for timing/agreement unless overridden.
 DEFAULT_REFERENCE_TRIALS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class PreparedScenario:
+    """Everything expensive about starting a run, computed once.
+
+    Produced by :func:`prepare_scenario`; holds the built topology, its
+    summary (including the exact diameter, the costly part), the derived
+    round budget and the bound :class:`ResolvedExecution` with its
+    schedule already compiled.  ``repro.service`` keeps these in its
+    resolution cache keyed by
+    :meth:`ExecutionConfig.cache_key` so repeated requests for the same
+    (config, topology) pay the compilation exactly once; passing one to
+    :func:`run_benchmark` via ``prepared=`` skips the whole cold path.
+    """
+
+    scenario: Scenario
+    config: ExecutionConfig
+    graph: Graph
+    summary: TopologySummary
+    parameters: CompeteParameters
+    resolved: ResolvedExecution
+
+
+def prepare_scenario(
+    scenario: Scenario,
+    config: Optional[ExecutionConfig] = None,
+) -> PreparedScenario:
+    """Compile ``scenario`` into a reusable :class:`PreparedScenario`.
+
+    This is the benchmark's cold path -- topology construction, the
+    exact-diameter summary, round-budget derivation, strategy-schedule
+    compilation and the CSR adjacency build -- factored out so callers
+    (most importantly the ``repro.service`` resolution cache) can pay it
+    once and amortise it over many runs.
+    """
+    if config is None:
+        config = scenario.execution_config()
+    graph = scenario.build_graph()
+    summary = summarize_topology(graph)
+    # An explicit round budget on the config wins; otherwise derive it
+    # once with the already-computed diameter.
+    parameters = config.parameters
+    if parameters is None:
+        parameters = CompeteParameters.from_graph(
+            graph, diameter=summary.diameter, margin=config.margin
+        )
+    resolved = resolve_execution(graph, config, parameters=parameters)
+    # Force the lazy compilations now, while we are on the cold path:
+    # the strategy schedule (cluster decomposition is not free) and the
+    # graph's memoized adjacency structure for the selected kernel, so a
+    # cached PreparedScenario starts a warm run without rebuilding
+    # either.
+    resolved.schedule
+    if resolved.engine == "sparse":
+        graph.adjacency_csr()
+    return PreparedScenario(
+        scenario=scenario,
+        config=config,
+        graph=graph,
+        summary=summary,
+        parameters=parameters,
+        resolved=resolved,
+    )
 
 
 def run_benchmark(
@@ -42,6 +113,7 @@ def run_benchmark(
     config: Optional[ExecutionConfig] = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    prepared: Optional[PreparedScenario] = None,
 ) -> dict[str, Any]:
     """Run ``scenario`` and return its schema-valid benchmark payload.
 
@@ -84,12 +156,21 @@ def run_benchmark(
         the trial's own seed under both rng policies, which is what
         makes the sharding sound.  The effective count is recorded in
         the payload's top-level ``workers`` field.
+    prepared:
+        A :class:`PreparedScenario` from :func:`prepare_scenario` to
+        reuse (the ``repro.service`` cache seam): the topology build,
+        diameter summary, round budget and compiled schedule are taken
+        from it instead of being recomputed.  It must have been prepared
+        for this scenario and config (checked); results are identical
+        with or without it.
 
     Raises
     ------
     SimulationError
         If a reference trial disagrees with its vectorized counterpart
-        (the equivalence guarantee is broken -- never ignore this).
+        (the equivalence guarantee is broken -- never ignore this), or
+        if a worker process dies mid-batch (the error names the seed
+        chunk that was lost).
 
     Notes
     -----
@@ -134,20 +215,33 @@ def run_benchmark(
     base_seed = seed if seed is not None else scenario.seed
     seeds = [base_seed + index for index in range(num_trials)]
 
-    graph = scenario.build_graph()
-    summary = summarize_topology(graph)
-    # An explicit round budget on the config wins; otherwise derive it
-    # once with the already-computed diameter.
-    parameters = config.parameters
-    if parameters is None:
-        parameters = CompeteParameters.from_graph(
-            graph, diameter=summary.diameter, margin=config.margin
+    if prepared is None:
+        prepared = prepare_scenario(scenario, config)
+    elif (
+        prepared.scenario.family != scenario.family
+        or prepared.scenario.topology_args != scenario.topology_args
+        or prepared.config.identity() != config.identity()
+    ):
+        # Scenario *names* may differ: the service cache deliberately
+        # shares one resolution across scenarios with identical
+        # execution identity and topology (e.g. the service-cold /
+        # service-warm probe pair).  What must match is everything the
+        # resolution was compiled from.
+        raise ConfigurationError(
+            f"prepared resolution is for scenario "
+            f"{prepared.scenario.name!r} ({prepared.scenario.family} "
+            f"{dict(prepared.scenario.topology_args)!r} / config "
+            f"{prepared.config.identity()}), not {scenario.name!r} "
+            f"({scenario.family} {dict(scenario.topology_args)!r} / "
+            f"{config.identity()})"
         )
-    # One resolution records exactly the kernel that will run ("auto"
+    graph = prepared.graph
+    summary = prepared.summary
+    parameters = prepared.parameters
+    # The resolution records exactly the kernel that will run ("auto"
     # applied through the same shared path the execution takes).
-    resolved = resolve_execution(graph, config, parameters=parameters)
     requested_engine = config.engine
-    selected_engine = resolved.engine
+    selected_engine = prepared.resolved.engine
 
     effective_workers = min(num_workers, num_trials)
     started = time.perf_counter()
@@ -160,22 +254,9 @@ def run_benchmark(
             for chunk in np.array_split(
                 np.asarray(seeds), effective_workers
             )
+            if chunk.size
         ]
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=effective_workers
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _worker_run_trials, scenario, parameters, chunk, config
-                )
-                for chunk in chunks
-                if chunk
-            ]
-            vectorized = [
-                result
-                for future in futures
-                for result in future.result()
-            ]
+        vectorized = _run_sharded(scenario, parameters, chunks, config)
     else:
         vectorized = _run_trials(
             scenario, graph, parameters, seeds, "vectorized", config
@@ -264,6 +345,162 @@ def run_benchmark(
             "platform": platform.platform(),
         },
     }
+
+
+def _run_sharded(
+    scenario: Scenario,
+    parameters: CompeteParameters,
+    chunks: Sequence[Sequence[int]],
+    config: ExecutionConfig,
+) -> list:
+    """Run contiguous seed chunks across a process pool, merged in order.
+
+    A worker process that dies (OOM-killed, segfaulted, ``os._exit``)
+    surfaces from :class:`~concurrent.futures.ProcessPoolExecutor` as a
+    bare ``BrokenProcessPool`` with no hint of *what* was lost; here it
+    is chained into a :class:`SimulationError` naming the failing
+    chunk's seed range so the caller can retry or bisect.
+    ``KeyboardInterrupt`` shuts the pool down without waiting for the
+    remaining chunks -- the service layer reuses this path and must be
+    able to abandon a run promptly.
+    """
+    pool = concurrent.futures.ProcessPoolExecutor(
+        max_workers=len(chunks)
+    )
+    interrupted = False
+    try:
+        futures = [
+            (
+                pool.submit(
+                    _worker_run_trials, scenario, parameters, chunk, config
+                ),
+                chunk,
+            )
+            for chunk in chunks
+        ]
+        merged = []
+        for future, chunk in futures:
+            try:
+                merged.extend(future.result())
+            except concurrent.futures.process.BrokenProcessPool as error:
+                raise SimulationError(
+                    f"worker process died while running scenario "
+                    f"{scenario.name!r} seeds {chunk[0]}..{chunk[-1]} "
+                    f"({len(chunk)} trial(s)); the whole sharded batch "
+                    "is lost -- re-run, or lower workers= if the "
+                    "machine is memory-constrained"
+                ) from error
+        return merged
+    except (KeyboardInterrupt, SystemExit):
+        # Don't block the interrupt on unfinished chunks: drop queued
+        # work and leave running workers to die with the process group.
+        interrupted = True
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        if not interrupted:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def merge_benchmark_batches(payloads: Sequence[dict]) -> dict[str, Any]:
+    """Merge per-batch :func:`run_benchmark` payloads into one artifact.
+
+    The service layer streams a job's seed batches as they finish -- one
+    schema-valid payload per batch, produced by consecutive
+    ``run_benchmark(..., trials=per_batch, seed=base + b * per_batch)``
+    calls -- and this reassembles them into the single payload the
+    one-shot ``run_benchmark(..., seed_batches=len(payloads))`` call
+    would have produced: concatenated per-trial series, re-derived
+    summary statistics, summed wall-clock.  The ``results`` block is
+    byte-identical to the one-shot run's (both are deterministic
+    functions of config + seeds) -- and with the reference pass disabled
+    so are ``trials`` and ``agreement`` (per-batch reference reruns
+    check a prefix of *each* batch, the one-shot run a prefix of the
+    whole) -- and the merged payload validates under the same
+    ``repro-bench/1`` schema.
+    """
+    if not payloads:
+        raise ConfigurationError("cannot merge zero benchmark batches")
+    first = payloads[0]
+    per_batch = first["trials"]["vectorized"]
+    for index, payload in enumerate(payloads):
+        if payload["scenario"] != first["scenario"]:
+            raise ConfigurationError(
+                "cannot merge benchmark batches of different scenarios"
+            )
+        if payload["trials"]["vectorized"] != per_batch:
+            raise ConfigurationError(
+                f"batch {index} ran {payload['trials']['vectorized']} "
+                f"trial(s), expected {per_batch} -- batches must be "
+                "uniform to merge"
+            )
+        expected_seed = first["trials"]["base_seed"] + index * per_batch
+        if payload["trials"]["base_seed"] != expected_seed:
+            raise ConfigurationError(
+                f"batch {index} starts at seed "
+                f"{payload['trials']['base_seed']}, expected "
+                f"{expected_seed} -- batches must be seed-contiguous"
+            )
+        if "per_trial" not in payload["results"]:
+            raise ConfigurationError(
+                f"batch {index} carries no per_trial series; only "
+                "current-schema payloads can be merged"
+            )
+    num_batches = len(payloads)
+    num_trials = per_batch * num_batches
+
+    per_trial: dict[str, list] = {}
+    for key in first["results"]["per_trial"]:
+        per_trial[key] = [
+            value
+            for payload in payloads
+            for value in payload["results"]["per_trial"][key]
+        ]
+    results: dict[str, Any] = {
+        "success_rate": sum(per_trial["success"]) / num_trials,
+    }
+    for key, values in per_trial.items():
+        if key == "success":
+            continue
+        results[key] = _series(values)
+    results["per_trial"] = per_trial
+
+    reference_trials = sum(p["trials"]["reference"] for p in payloads)
+    vec_seconds = sum(p["timing"]["vectorized_seconds"] for p in payloads)
+    ref_seconds = sum(
+        p["timing"]["reference_seconds"] or 0.0 for p in payloads
+    )
+    vec_per_trial = vec_seconds / num_trials
+    ref_per_trial = (
+        ref_seconds / reference_trials if reference_trials else None
+    )
+    checked = sum(p["agreement"]["checked_trials"] for p in payloads)
+
+    merged = dict(first)
+    merged["trials"] = dict(
+        first["trials"],
+        vectorized=num_trials,
+        per_batch=per_batch,
+        seed_batches=num_batches,
+        reference=reference_trials,
+    )
+    merged["results"] = results
+    merged["timing"] = {
+        "vectorized_seconds": vec_seconds,
+        "vectorized_seconds_per_trial": vec_per_trial,
+        "reference_seconds": ref_seconds if reference_trials else None,
+        "reference_seconds_per_trial": ref_per_trial,
+        "speedup": (
+            ref_per_trial / vec_per_trial
+            if ref_per_trial is not None and vec_per_trial > 0
+            else None
+        ),
+    }
+    merged["agreement"] = {
+        "checked_trials": checked,
+        "round_exact": checked > 0,
+    }
+    return merged
 
 
 def _run_trials(

@@ -220,8 +220,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:
         # Stdout was closed mid-print (e.g. `report | head`); exit
         # quietly like any well-behaved filter instead of tracebacking.
+        # Must precede OSError below: BrokenPipeError subclasses it.
         sys.stderr.close()
         return 0
+    except OSError as error:
+        # Unreadable inputs / unwritable outputs (missing directory,
+        # permissions) are user-facing conditions, not bugs.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def _command_list(arguments: argparse.Namespace) -> int:

@@ -698,6 +698,7 @@ def dump_verdict(
 ) -> pathlib.Path:
     """Write the machine-readable verdict document as JSON."""
     path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(verdict_payload(report), indent=2, sort_keys=True) + "\n"
     )

@@ -518,6 +518,20 @@ def _populate(registry: ScenarioRegistry) -> None:
         "leader-election", spontaneous=False, trials=4,
         tags=("random",))
 
+    # --- service cold/warm probe pair ------------------------------------
+    # Identical execution axes on the identical 64x64 grid, so both map
+    # to one resolution-cache key (identity excludes the name): running
+    # "cold" then "warm" through ``repro.service`` measures exactly the
+    # compile-versus-cache-hit gap the BENCH_service-* artifacts record.
+    add("service-cold",
+        "64x64 grid, n=4096: first (cache-cold) service request",
+        "grid", {"rows": 64, "cols": 64}, "broadcast", trials=2,
+        tags=("service", "sparse"))
+    add("service-warm",
+        "64x64 grid, n=4096: repeat (cache-warm) service request",
+        "grid", {"rows": 64, "cols": 64}, "broadcast", trials=2,
+        tags=("service", "sparse"))
+
 
 #: The built-in scenario sweep used by the CLI.
 DEFAULT_REGISTRY = ScenarioRegistry()

@@ -48,6 +48,12 @@ class Graph:
         edges: Optional[Iterable[Edge]] = None,
     ) -> None:
         self._adjacency: dict[NodeId, set[NodeId]] = {}
+        # Default-order CSR memo (indptr, indices, nodes); invalidated
+        # by every mutation.  One topology is typically consumed by many
+        # engine constructions (batch runs, the service's resolution
+        # cache), and the CSR build is the only O(n + m) Python-loop
+        # step left on the warm path.
+        self._csr_cache = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -62,6 +68,7 @@ class Graph:
         """Add ``node`` to the graph (a no-op if it is already present)."""
         if node not in self._adjacency:
             self._adjacency[node] = set()
+            self._csr_cache = None
 
     def add_edge(self, u: NodeId, v: NodeId) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
@@ -77,6 +84,7 @@ class Graph:
         self.add_node(v)
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        self._csr_cache = None
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge ``{u, v}``.
@@ -90,6 +98,7 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
+        self._csr_cache = None
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges.
@@ -104,6 +113,7 @@ class Graph:
         for neighbour in list(self._adjacency[node]):
             self._adjacency[neighbour].discard(node)
         del self._adjacency[node]
+        self._csr_cache = None
 
     @classmethod
     def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
@@ -479,11 +489,19 @@ class Graph:
         :mod:`repro.simulation.vectorized` (see
         :class:`repro.simulation.sparse.CSRAdjacency`).
 
+        The default-order result is memoized on the graph (mutations
+        invalidate it), so repeated engine constructions over one
+        topology -- batch runs, the ``repro.service`` resolution cache
+        -- pay the Python-loop build once.  Callers must treat the
+        returned arrays as read-only.
+
         ``numpy`` is imported lazily so the graph module itself stays
         dependency-free.
         """
         import numpy as np
 
+        if order is None and self._csr_cache is not None:
+            return self._csr_cache
         nodes, index = self._resolve_order(order)
         rows = [
             sorted(index[neighbour] for neighbour in self._adjacency[node])
@@ -496,6 +514,8 @@ class Graph:
             dtype=np.int64,
             count=int(indptr[-1]),
         )
+        if order is None:
+            self._csr_cache = (indptr, indices, nodes)
         return indptr, indices, nodes
 
     # ------------------------------------------------------------------

@@ -541,6 +541,129 @@ def test_cli_errors_return_nonzero(tmp_path, capsys):
     assert main(["validate", str(bad)]) == 1
 
 
+def test_cli_report_against_missing_dir_is_one_line_error(tmp_path, capsys):
+    # `report --against <missing>` must exit 1 with an `error:` line,
+    # never a traceback (the audit contract for every CLI failure).
+    assert main([
+        "report", str(tmp_path / "candidate-missing"),
+        "--against", str(tmp_path / "baseline-missing"),
+    ]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_cli_report_verdict_json_creates_parent_dirs(tmp_path, capsys):
+    out_dir = tmp_path / "bench"
+    assert main([
+        "run", "broadcast-path-n32",
+        "--trials", "2", "--skip-reference", "--out", str(out_dir),
+    ]) == 0
+    capsys.readouterr()
+    verdict = tmp_path / "deep" / "nested" / "verdict.json"
+    # Self-comparison keeps the verdict deterministic; the point here is
+    # that the nested --verdict-json parent directories get created.
+    assert main([
+        "report", str(out_dir), "--against", str(out_dir),
+        "--verdict-json", str(verdict),
+    ]) == 0
+    assert verdict.exists()
+    assert json.loads(verdict.read_text())["verdict"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# prepared resolutions, batch merging, worker-pool failure handling
+# ----------------------------------------------------------------------
+def test_prepare_scenario_reuse_is_byte_identical():
+    from repro.experiments import prepare_scenario
+
+    prepared = prepare_scenario(TINY)
+    fresh = run_benchmark(TINY, include_reference=False)
+    reused = run_benchmark(TINY, include_reference=False, prepared=prepared)
+    assert reused["results"] == fresh["results"]
+    assert reused["trials"] == fresh["trials"]
+    assert reused["scenario"] == fresh["scenario"]
+    # And again: a prepared resolution is reusable, not consumed.
+    assert run_benchmark(
+        TINY, include_reference=False, prepared=prepared
+    )["results"] == fresh["results"]
+
+
+def test_prepare_scenario_rejects_mismatched_reuse():
+    from repro.experiments import prepare_scenario
+
+    other = Scenario(
+        name="tiny-other", description="different topology",
+        family="star", topology_args={"num_leaves": 9},
+        algorithm="broadcast", trials=2, seed=5,
+    )
+    prepared = prepare_scenario(other)
+    with pytest.raises(ConfigurationError, match="prepared resolution"):
+        run_benchmark(TINY, prepared=prepared)
+
+
+def test_merge_benchmark_batches_matches_one_shot():
+    from repro.experiments import merge_benchmark_batches
+
+    one_shot = run_benchmark(TINY, trials=4, include_reference=False)
+    batches = [
+        run_benchmark(
+            TINY, trials=2, seed=TINY.seed + offset, include_reference=False
+        )
+        for offset in (0, 2)
+    ]
+    merged = merge_benchmark_batches(batches)
+    validate_bench(merged)
+    assert merged["results"] == one_shot["results"]
+    assert merged["trials"]["vectorized"] == 4
+    assert merged["trials"]["seed_batches"] == 2
+    assert merged["trials"]["per_batch"] == 2
+
+
+def test_merge_benchmark_batches_rejects_bad_input():
+    from repro.experiments import merge_benchmark_batches
+
+    with pytest.raises(ConfigurationError):
+        merge_benchmark_batches([])
+    a = run_benchmark(TINY, trials=2, include_reference=False)
+    gap = run_benchmark(
+        TINY, trials=2, seed=TINY.seed + 99, include_reference=False
+    )
+    with pytest.raises(ConfigurationError, match="contiguous"):
+        merge_benchmark_batches([a, gap])
+
+
+def _crashing_worker(scenario, parameters, chunk, config):
+    import os
+
+    os._exit(13)  # simulate an OOM-killed / segfaulted worker
+
+
+def _interrupted_worker(scenario, parameters, chunk, config):
+    raise KeyboardInterrupt
+
+
+def test_sharded_worker_crash_names_seed_range(monkeypatch):
+    from repro.errors import SimulationError
+    from repro.experiments import bench
+
+    monkeypatch.setattr(bench, "_worker_run_trials", _crashing_worker)
+    with pytest.raises(SimulationError) as excinfo:
+        run_benchmark(TINY, include_reference=False, workers=2)
+    message = str(excinfo.value)
+    assert TINY.name in message
+    assert "seeds" in message
+    assert excinfo.value.__cause__ is not None  # chained BrokenProcessPool
+
+
+def test_sharded_keyboard_interrupt_shuts_pool_down(monkeypatch):
+    from repro.experiments import bench
+
+    monkeypatch.setattr(bench, "_worker_run_trials", _interrupted_worker)
+    with pytest.raises(KeyboardInterrupt):
+        run_benchmark(TINY, include_reference=False, workers=2)
+
+
 # ----------------------------------------------------------------------
 # documentation
 # ----------------------------------------------------------------------

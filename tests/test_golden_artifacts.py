@@ -10,8 +10,11 @@ module treats each one as a golden file:
   optional fields, and this is where that promise is enforced against
   real data rather than synthetic fixtures);
 * its summary statistics must be re-derivable from the recorded
-  per-trial series (when present) and internally consistent (timing
-  arithmetic, filename, scenario identity);
+  per-trial series and internally consistent (timing arithmetic,
+  filename, scenario identity) -- every artifact under ``benchmarks/``
+  carries the series; only the committed legacy fixture under
+  ``tests/data/legacy/`` (kept to pin the schema's pre-PR-7 tolerance)
+  may omit it;
 * its scenario block must rebuild through the current code paths --
   :meth:`Scenario.from_dict`, :meth:`Scenario.execution_config`, the
   config identity digest -- and agree with the registry's current
@@ -40,7 +43,13 @@ from repro.topology.validation import summarize_topology
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCHMARKS = REPO_ROOT / "benchmarks"
+#: Pre-PR-7 artifacts (no ``results.per_trial``) kept as fixtures: they
+#: pin the schema's documented legacy tolerance without grandfathering
+#: incomplete data into the live baseline set.
+LEGACY_DIR = REPO_ROOT / "tests" / "data" / "legacy"
 ARTIFACT_PATHS = sorted(BENCHMARKS.glob("BENCH_*.json"))
+LEGACY_PATHS = sorted(LEGACY_DIR.glob("BENCH_*.json"))
+ALL_PATHS = ARTIFACT_PATHS + LEGACY_PATHS
 
 #: Above this node count the topology rebuild moves to the slow tier
 #: (exact-diameter verification is O(n*m); CI runs it once per push).
@@ -55,28 +64,33 @@ _IDENTITY_FIELDS = (
 )
 
 
+def _param_id(path):
+    stem = path.stem.replace("BENCH_", "")
+    return f"legacy-{stem}" if path.parent == LEGACY_DIR else stem
+
+
 def _artifact_params():
     assert ARTIFACT_PATHS, "no committed benchmark artifacts found"
-    for path in ARTIFACT_PATHS:
-        yield pytest.param(path, id=path.stem.replace("BENCH_", ""))
+    assert LEGACY_PATHS, "the documented legacy fixture is missing"
+    for path in ALL_PATHS:
+        yield pytest.param(path, id=_param_id(path))
 
 
 def _rebuild_params():
-    for path in ARTIFACT_PATHS:
+    for path in ALL_PATHS:
         payload = json.loads(path.read_text())
         marks = (
             (pytest.mark.slow,)
             if payload["topology"]["num_nodes"] > _FAST_REBUILD_NODES
             else ()
         )
-        yield pytest.param(path, id=path.stem.replace("BENCH_", ""),
-                           marks=marks)
+        yield pytest.param(path, id=_param_id(path), marks=marks)
 
 
 @pytest.fixture(scope="module")
 def payloads():
     # One validated load per artifact for the whole module.
-    return {path: load_bench(path) for path in ARTIFACT_PATHS}
+    return {path: load_bench(path) for path in ALL_PATHS}
 
 
 @pytest.mark.parametrize("path", _artifact_params())
@@ -152,10 +166,17 @@ def test_summary_statistics_rederive_from_per_trial_series(path, payloads):
     results = payload["results"]
     per_trial = results.get("per_trial")
     if per_trial is None:
-        # Pre-PR-7 artifacts carry summaries only; the schema's
-        # min <= mean <= max invariant is all that can be re-checked,
-        # and validate_bench already enforced it.
-        pytest.skip("artifact predates the per_trial series block")
+        if path.parent == LEGACY_DIR:
+            # The one place the pre-PR-7 summaries-only form remains
+            # acceptable: the committed fixture that pins the schema's
+            # legacy tolerance.  validate_bench already enforced the
+            # min <= mean <= max invariant, all that can be re-checked.
+            pytest.skip("documented legacy fixture predates per_trial")
+        pytest.fail(
+            f"{path.name} lacks results.per_trial; live baselines must "
+            "carry the series -- regenerate with "
+            f"`python -m repro.experiments run {payload['scenario']['name']}`"
+        )
     num_trials = payload["trials"]["vectorized"]
     assert len(per_trial["success"]) == num_trials
     derived_rate = sum(per_trial["success"]) / num_trials

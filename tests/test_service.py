@@ -1,0 +1,579 @@
+"""The serving layer: protocol, cache, jobs, transports.
+
+Everything here drives the real pipeline on tiny scenarios -- the
+service's core guarantee is that a served result is *byte-identical* to
+an in-process :func:`run_benchmark` call, so the tests never mock the
+benchmark path itself.  Async pieces run under ``asyncio.run`` inside
+plain test functions (no pytest-asyncio in the dependency budget).
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_benchmark
+from repro.experiments.scenarios import DEFAULT_REGISTRY, Scenario
+from repro.service import (
+    CachedResolver,
+    JobManager,
+    JobSpec,
+    RequestError,
+    ResolutionCache,
+    RunOverrides,
+    ServiceServer,
+    error_response,
+    ok_response,
+    parse_request,
+    resolution_key,
+    serve_stdio,
+)
+from repro.service.loadgen import attach_service_block
+
+TINY = Scenario(
+    name="svc-tiny",
+    description="test-only broadcast on a small star",
+    family="star",
+    topology_args={"num_leaves": 7},
+    algorithm="broadcast",
+    trials=3,
+    seed=11,
+)
+
+#: Same execution axes as TINY, different topology: the identity digest
+#: matches, so only the topology digest keeps their cache keys apart.
+TINY_OTHER_TOPOLOGY = Scenario(
+    name="svc-tiny-wide",
+    description="same config, wider star",
+    family="star",
+    topology_args={"num_leaves": 15},
+    algorithm="broadcast",
+    trials=3,
+    seed=11,
+)
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+def test_parse_request_rejects_malformed():
+    for payload, fragment in [
+        (["not", "an", "object"], "JSON object"),
+        ({"op": "frobnicate"}, "op must be one of"),
+        ({"op": "status"}, "'job' id"),
+        ({"op": "run"}, "scenario"),
+        ({"op": "run", "scenario": "no-such"}, "not registered"),
+        ({"op": "run", "scenario": "broadcast-path-n32", "trials": 0},
+         "trials"),
+        ({"op": "run", "scenario": "broadcast-path-n32", "trials": True},
+         "boolean"),
+        ({"op": "run", "scenario": "broadcast-path-n32",
+          "timeout_seconds": 0}, "timeout_seconds"),
+        ({"op": "sweep", "limit": 0}, "limit"),
+        ({"op": "run", "scenario": "broadcast-path-n32", "id": 7},
+         "id must be a string"),
+    ]:
+        with pytest.raises(RequestError, match=None) as excinfo:
+            parse_request(payload, registry=DEFAULT_REGISTRY)
+        assert fragment in str(excinfo.value)
+
+    unknown = pytest.raises(
+        RequestError, parse_request, {"op": "run", "scenario": "no-such"},
+        registry=DEFAULT_REGISTRY,
+    )
+    assert unknown.value.code == "unknown-scenario"
+
+
+def test_parse_request_accepts_registered_and_inline_scenarios():
+    request = parse_request(
+        {"op": "run", "scenario": "broadcast-path-n32", "trials": 2,
+         "seed_batches": 2, "id": "abc"},
+        registry=DEFAULT_REGISTRY,
+    )
+    assert request.scenario.name == "broadcast-path-n32"
+    assert request.overrides == RunOverrides(trials=2, seed_batches=2)
+    assert request.id == "abc"
+
+    inline = parse_request(
+        {"op": "run", "scenario": TINY.to_dict()},
+        registry=DEFAULT_REGISTRY,
+    )
+    assert inline.scenario.name == TINY.name
+    assert inline.scenario.topology_args == TINY.topology_args
+
+
+def test_response_envelopes_echo_request_id():
+    assert ok_response({"x": 1}, request_id="r1") == {
+        "schema": "repro-service/1", "ok": True, "id": "r1", "x": 1,
+    }
+    failure = error_response("queue-full", "busy", request_id="r2")
+    assert failure["ok"] is False
+    assert failure["id"] == "r2"
+    assert failure["error"]["code"] == "queue-full"
+    # Unknown codes degrade to internal rather than leaking junk.
+    assert error_response("nope", "x")["error"]["code"] == "internal"
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def test_resolution_key_separates_topologies_and_unifies_identities():
+    key_a = resolution_key(TINY, TINY.execution_config())
+    key_b = resolution_key(
+        TINY_OTHER_TOPOLOGY, TINY_OTHER_TOPOLOGY.execution_config()
+    )
+    # Same execution identity (the prefix) -- different topology digest.
+    assert key_a.split(":")[0] == key_b.split(":")[0]
+    assert key_a != key_b
+
+    # The registered cold/warm probe pair shares one key by design.
+    cold = DEFAULT_REGISTRY.get("service-cold")
+    warm = DEFAULT_REGISTRY.get("service-warm")
+    assert resolution_key(cold, cold.execution_config()) == resolution_key(
+        warm, warm.execution_config()
+    )
+
+
+def test_resolution_cache_lru_eviction_and_counters():
+    with pytest.raises(ConfigurationError):
+        ResolutionCache(0)
+    cache = ResolutionCache(2)
+    assert cache.get("a") is None  # miss
+    cache.put("a", "A")
+    cache.put("b", "B")
+    assert cache.get("a") == "A"  # refreshes a as most-recent
+    cache.put("c", "C")  # evicts b (the LRU entry)
+    assert "b" not in cache
+    assert cache.get("a") == "A" and cache.get("c") == "C"
+    stats = cache.stats()
+    assert stats == {
+        "capacity": 2, "entries": 2, "hits": 3, "misses": 1, "evictions": 1,
+    }
+
+
+def test_cached_resolver_coalesces_concurrent_compiles():
+    compiles = []
+
+    def slow_compile(scenario, config):
+        compiles.append(scenario.name)
+        time.sleep(0.2)
+        return f"prepared-{scenario.name}"
+
+    async def scenario_pair():
+        resolver = CachedResolver(compile=slow_compile)
+        first, second = await asyncio.gather(
+            resolver.resolve(TINY), resolver.resolve(TINY)
+        )
+        third = await resolver.resolve(TINY)
+        return first, second, third, resolver.stats()
+
+    first, second, third, stats = asyncio.run(scenario_pair())
+    assert len(compiles) == 1, "duplicate requests must share one compile"
+    assert first[0] == second[0] == third[0] == "prepared-svc-tiny"
+    assert {first[1], second[1]} == {"miss", "coalesced"}
+    assert third[1] == "hit"
+    assert stats["compiles"] == 1 and stats["coalesced"] == 1
+    assert stats["hits"] == 1
+
+
+def test_cached_resolver_propagates_compile_failure_then_recovers():
+    attempts = []
+
+    def flaky_compile(scenario, config):
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise ConfigurationError("transient failure")
+        return "ok"
+
+    async def drive():
+        resolver = CachedResolver(compile=flaky_compile)
+        with pytest.raises(ConfigurationError, match="transient"):
+            await resolver.resolve(TINY)
+        prepared, outcome, _ = await resolver.resolve(TINY)
+        return prepared, outcome
+
+    prepared, outcome = asyncio.run(drive())
+    assert prepared == "ok" and outcome == "miss"
+    assert len(attempts) == 2, "a failed compile must not be cached"
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+def _wait_terminal(manager, job, deadline=60.0):
+    async def poll():
+        end = time.monotonic() + deadline
+        while job.state not in ("done", "failed", "cancelled", "timeout"):
+            assert time.monotonic() < end, f"job stuck in {job.state}"
+            await asyncio.sleep(0.02)
+
+    return poll()
+
+
+def test_job_results_are_byte_identical_to_in_process_run():
+    local = run_benchmark(TINY, include_reference=False)
+
+    async def serve_one():
+        manager = JobManager()
+        manager.start()
+        try:
+            job = manager.submit(JobSpec(scenario=TINY))
+            await _wait_terminal(manager, job)
+            return job
+        finally:
+            await manager.close()
+
+    job = asyncio.run(serve_one())
+    assert job.state == "done"
+    assert job.resolve_outcome == "miss"
+    served = job.result
+    assert served["results"] == local["results"]
+    assert served["trials"] == local["trials"]
+    assert served["scenario"] == local["scenario"]
+    assert served["agreement"] == local["agreement"]
+
+
+def test_job_seed_batches_stream_and_merge():
+    local = run_benchmark(TINY, trials=4, include_reference=False)
+
+    async def serve_batched():
+        manager = JobManager()
+        manager.start()
+        try:
+            job = manager.submit(JobSpec(
+                scenario=TINY,
+                overrides=RunOverrides(trials=2, seed_batches=2),
+            ))
+            await _wait_terminal(manager, job)
+            return job
+        finally:
+            await manager.close()
+
+    job = asyncio.run(serve_batched())
+    assert job.state == "done"
+    assert len(job.batches) == 2
+    assert job.result["results"] == local["results"]
+    assert job.result["trials"]["vectorized"] == 4
+
+
+def test_job_timeout_and_cancel_paths():
+    async def drive():
+        manager = JobManager()
+        manager.start()
+        try:
+            # Deadline in the past by the first batch check -> timeout
+            # before any batch runs.
+            timed_out = manager.submit(JobSpec(
+                scenario=TINY,
+                overrides=RunOverrides(
+                    seed_batches=2, timeout_seconds=1e-6
+                ),
+            ))
+            await _wait_terminal(manager, timed_out)
+
+            # Cancel a job while its first batch is running: the flag is
+            # honoured at the batch boundary.
+            started = threading.Event()
+            release = threading.Event()
+            real_batch = manager._run_batch
+
+            def gated_batch(spec, config, prepared, trials, seed):
+                started.set()
+                assert release.wait(30)
+                return real_batch(spec, config, prepared, trials, seed)
+
+            manager._run_batch = gated_batch
+            running = manager.submit(JobSpec(
+                scenario=TINY,
+                overrides=RunOverrides(seed_batches=3),
+            ))
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, started.wait, 30)
+            manager.cancel(running.id)
+            release.set()
+            await _wait_terminal(manager, running)
+            return timed_out, running
+        finally:
+            await manager.close()
+
+    timed_out, cancelled = asyncio.run(drive())
+    assert timed_out.state == "timeout"
+    assert timed_out.batches == []
+    assert "deadline" in timed_out.error
+    assert cancelled.state == "cancelled"
+    assert len(cancelled.batches) == 1, "running batch completes; no more start"
+    assert cancelled.result is None
+
+
+def test_queue_full_rejection_and_queued_cancel():
+    async def drive():
+        # Not started: nothing drains the queue, so capacity is exact.
+        manager = JobManager(queue_size=2)
+        first = manager.submit(JobSpec(scenario=TINY))
+        manager.submit(JobSpec(scenario=TINY))
+        with pytest.raises(RequestError) as excinfo:
+            manager.submit(JobSpec(scenario=TINY))
+        assert excinfo.value.code == "queue-full"
+
+        cancelled = manager.cancel(first.id)
+        assert cancelled.state == "cancelled"
+
+        with pytest.raises(RequestError) as unknown:
+            manager.get("job-999")
+        assert unknown.value.code == "unknown-job"
+
+        stats = manager.stats()
+        assert stats["queue"] == {"depth": 2, "capacity": 2}
+        assert stats["jobs"]["cancelled"] == 1
+        await manager.close()
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+def _http(base_url, method, path, payload=None):
+    body = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base_url + path, data=body, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_end_to_end_run_status_cancel_and_errors():
+    local = run_benchmark(TINY, include_reference=False)
+
+    async def drive():
+        server = ServiceServer(JobManager())
+        await server.start()
+        url = f"http://127.0.0.1:{server.port}"
+        loop = asyncio.get_running_loop()
+
+        def call(method, path, payload=None):
+            return _http(url, method, path, payload)
+
+        try:
+            status, health = await loop.run_in_executor(
+                None, call, "GET", "/healthz"
+            )
+            assert (status, health["ok"]) == (200, True)
+
+            # Inline scenario: served without registration.
+            status, submitted = await loop.run_in_executor(
+                None, call, "POST", "/v1/run",
+                {"scenario": TINY.to_dict()},
+            )
+            assert status == 200
+            job_id = submitted["job"]
+            while True:
+                status, job = await loop.run_in_executor(
+                    None, call, "GET", f"/v1/jobs/{job_id}"
+                )
+                assert status == 200
+                if job["state"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.05)
+            assert job["state"] == "done"
+            assert job["result"]["results"] == local["results"]
+
+            status, body = await loop.run_in_executor(
+                None, call, "GET", "/v1/jobs/job-999"
+            )
+            assert status == 404
+            assert body["error"]["code"] == "unknown-job"
+
+            status, body = await loop.run_in_executor(
+                None, call, "POST", "/v1/run", {"scenario": "no-such"}
+            )
+            assert status == 404
+            assert body["error"]["code"] == "unknown-scenario"
+
+            status, body = await loop.run_in_executor(
+                None, call, "POST", "/v1/run", {"trials": 2}
+            )
+            assert status == 400
+            assert body["error"]["code"] == "bad-request"
+
+            status, stats = await loop.run_in_executor(
+                None, call, "GET", "/v1/stats"
+            )
+            assert status == 200
+            assert stats["stats"]["jobs"]["done"] >= 1
+        finally:
+            await server.close()
+
+    asyncio.run(drive())
+
+
+def test_http_queue_full_maps_to_429():
+    async def drive():
+        manager = JobManager(queue_size=1, job_workers=1)
+        started = threading.Event()
+        release = threading.Event()
+        real_batch = manager._run_batch
+
+        def gated_batch(spec, config, prepared, trials, seed):
+            started.set()
+            assert release.wait(30)
+            return real_batch(spec, config, prepared, trials, seed)
+
+        manager._run_batch = gated_batch
+        server = ServiceServer(manager)
+        await server.start()
+        url = f"http://127.0.0.1:{server.port}"
+        loop = asyncio.get_running_loop()
+
+        def run_one():
+            return _http(url, "POST", "/v1/run",
+                         {"scenario": TINY.to_dict()})
+
+        try:
+            status, _ = await loop.run_in_executor(None, run_one)
+            assert status == 200  # picked up by the (blocked) worker
+            await loop.run_in_executor(None, started.wait, 30)
+            status, _ = await loop.run_in_executor(None, run_one)
+            assert status == 200  # sits in the queue (capacity 1)
+            status, body = await loop.run_in_executor(None, run_one)
+            assert status == 429
+            assert body["error"]["code"] == "queue-full"
+        finally:
+            release.set()
+            await server.close()
+
+    asyncio.run(drive())
+
+
+def test_http_stream_emits_batches_then_end():
+    async def drive():
+        server = ServiceServer(JobManager())
+        await server.start()
+        url = f"http://127.0.0.1:{server.port}"
+        loop = asyncio.get_running_loop()
+
+        def call(method, path, payload=None):
+            return _http(url, method, path, payload)
+
+        def read_stream(job_id):
+            events = []
+            with urllib.request.urlopen(
+                f"{url}/v1/jobs/{job_id}/stream", timeout=60
+            ) as response:
+                for line in response:
+                    events.append(json.loads(line))
+            return events
+
+        try:
+            status, submitted = await loop.run_in_executor(
+                None, call, "POST", "/v1/run",
+                {"scenario": TINY.to_dict(), "trials": 1,
+                 "seed_batches": 3},
+            )
+            assert status == 200
+            events = await loop.run_in_executor(
+                None, read_stream, submitted["job"]
+            )
+        finally:
+            await server.close()
+        assert [event["event"] for event in events] == [
+            "batch", "batch", "batch", "end",
+        ]
+        assert [event.get("batch") for event in events[:3]] == [0, 1, 2]
+        assert events[-1]["state"] == "done"
+        assert events[-1]["result"]["trials"]["vectorized"] == 3
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# stdio transport
+# ----------------------------------------------------------------------
+def test_stdio_transport_round_trip():
+    async def drive():
+        server_sock, client_sock = socket.socketpair()
+        server_reader, server_writer = await asyncio.open_connection(
+            sock=server_sock
+        )
+        client_reader, client_writer = await asyncio.open_connection(
+            sock=client_sock
+        )
+        manager = JobManager()
+        session = asyncio.create_task(
+            serve_stdio(manager, server_reader, server_writer)
+        )
+
+        async def call(payload):
+            client_writer.write(json.dumps(payload).encode() + b"\n")
+            await client_writer.drain()
+            return json.loads(await client_reader.readline())
+
+        try:
+            pong = await call({"op": "ping", "id": "p1"})
+            assert pong == {
+                "schema": "repro-service/1", "ok": True, "id": "p1",
+                "pong": True,
+            }
+
+            bad = await call({"op": "status", "id": "p2"})
+            assert bad["ok"] is False and bad["id"] == "p2"
+            assert bad["error"]["code"] == "bad-request"
+
+            garbage_response = await call("not an object")
+            assert garbage_response["error"]["code"] == "bad-request"
+
+            submitted = await call({
+                "op": "run", "scenario": TINY.to_dict(), "trials": 1,
+                "id": "p3",
+            })
+            assert submitted["ok"] is True and submitted["id"] == "p3"
+            while True:
+                status = await call({
+                    "op": "status", "job": submitted["job"],
+                })
+                if status["state"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.05)
+            assert status["state"] == "done"
+            assert status["result"]["trials"]["vectorized"] == 1
+        finally:
+            client_writer.close()
+            await asyncio.wait_for(session, timeout=10)
+            await manager.close()
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# loadgen helpers
+# ----------------------------------------------------------------------
+def test_attach_service_block_keeps_payload_schema_valid():
+    from repro.experiments import validate_bench
+
+    payload = run_benchmark(TINY, include_reference=False)
+    status = {
+        "job": "job-1",
+        "result": payload,
+        "resolve": {"outcome": "hit", "seconds": 1e-5},
+        "wall_seconds": 0.5,
+    }
+    stats = {
+        "queue": {"depth": 0, "capacity": 64},
+        "cache": {"hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+                  "compiles": 1},
+    }
+    extended = attach_service_block(status, stats)
+    validate_bench(extended)
+    assert extended["service"]["resolve"]["outcome"] == "hit"
+    assert extended["service"]["cache"]["hits"] == 1
+    # The original payload is not mutated.
+    assert "service" not in payload
