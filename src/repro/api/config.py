@@ -51,6 +51,7 @@ import warnings
 from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.dynamics import DynamicsSpec, FaultSchedule, coerce_dynamics
 from repro.network.graph import Graph
 from repro.network.radio import CollisionModel
 from repro.core.parameters import DEFAULT_MARGIN, CompeteParameters
@@ -124,6 +125,14 @@ class ExecutionConfig:
         backend only, seed-reproducible against itself, equivalent to
         replay *in distribution* -- the contract
         ``tests/test_rng_decoupled.py`` enforces statistically).
+    dynamics:
+        Optional :class:`repro.dynamics.DynamicsSpec` (or its
+        ``describe()`` mapping, normalised to the spec): the seeded
+        fault environment -- edge churn, node crash/recovery, jamming
+        windows -- applied identically by every backend.  ``None`` (the
+        default) is the static network.  Included in :meth:`identity`
+        when set, so faulty and clean runs can never share a cache entry
+        or a baseline join key.
     """
 
     backend: str = "reference"
@@ -134,6 +143,7 @@ class ExecutionConfig:
     margin: float = DEFAULT_MARGIN
     draw_block: int = DEFAULT_DRAW_BLOCK
     rng: str = "replay"
+    dynamics: Optional[Union[DynamicsSpec, Mapping[str, Any]]] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -191,6 +201,9 @@ class ExecutionConfig:
                 "reference runner is defined by its per-node stream "
                 "replay and has no counter-based mode"
             )
+        # Normalise mappings (the persisted JSON form) to the spec, like
+        # collision_model above; validation happens in DynamicsSpec.
+        object.__setattr__(self, "dynamics", coerce_dynamics(self.dynamics))
 
     @property
     def strategy_name(self) -> str:
@@ -209,7 +222,7 @@ class ExecutionConfig:
 
     def describe(self) -> dict[str, Any]:
         """The config's execution axes as a JSON-friendly dict."""
-        return {
+        description = {
             "backend": self.backend,
             "engine": self.engine,
             "strategy": self.strategy_name,
@@ -217,6 +230,12 @@ class ExecutionConfig:
             "margin": self.margin,
             "rng": self.rng,
         }
+        # Included only when set: every static config (and with it every
+        # committed pre-dynamics artifact identity) keeps the exact
+        # digest it had before the dynamics axis existed.
+        if self.dynamics is not None:
+            description["dynamics"] = self.dynamics.describe()
+        return description
 
     def identity(self) -> str:
         """A short stable digest of the config's execution axes.
@@ -306,6 +325,7 @@ class ResolvedExecution:
         self._strategy = strategy
         self._engine = engine
         self._schedule: Optional[TransmissionSchedule] = None
+        self._fault_schedule: Optional[FaultSchedule] = None
 
     @property
     def graph(self) -> Graph:
@@ -347,6 +367,21 @@ class ResolvedExecution:
             )
         return self._schedule
 
+    @property
+    def fault_schedule(self) -> Optional[FaultSchedule]:
+        """The config's dynamics compiled against this graph.
+
+        ``None`` for static configs.  Built on first access (the
+        canonical edge enumeration costs an ``O(m log m)`` sort) and
+        shared by every backend the resolution drives, so the reference
+        runner and the vectorized kernels replay one fault trajectory.
+        """
+        if self._fault_schedule is None and self._config.dynamics is not None:
+            self._fault_schedule = FaultSchedule(
+                self._config.dynamics, self._graph
+            )
+        return self._fault_schedule
+
     def build_engine(self) -> VectorizedCompeteEngine:
         """Construct the vectorized engine this resolution describes.
 
@@ -361,6 +396,7 @@ class ResolvedExecution:
             engine=self._engine,
             draw_block=self._config.draw_block,
             rng=self._config.rng,
+            dynamics=self.fault_schedule,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

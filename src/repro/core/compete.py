@@ -494,7 +494,14 @@ class Compete:
             for node in graph.nodes()
         }
 
-        network = RadioNetwork(graph, self._collision_model)
+        # The resolved fault schedule (None on static configs) rides the
+        # same channel masks the vectorized engines apply, and every run
+        # starts it back at round 0 via its replay cursor.
+        network = RadioNetwork(
+            graph,
+            self._collision_model,
+            dynamics=self._resolved().fault_schedule,
+        )
 
         def saturated() -> bool:
             return winner is not None and all(

@@ -164,7 +164,9 @@ def decay_broadcast(
         )
         for node in graph.nodes()
     }
-    network = RadioNetwork(graph, resolved.collision_model)
+    network = RadioNetwork(
+        graph, resolved.collision_model, dynamics=resolved.fault_schedule
+    )
 
     def informed() -> bool:
         return all(p.message is not None for p in protocols.values())

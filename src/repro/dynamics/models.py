@@ -1,0 +1,193 @@
+"""Fault models: the declarative half of ``repro.dynamics``.
+
+A :class:`FaultModel` is a frozen, JSON-round-trippable description of
+one seeded fault *process* -- it carries the parameters (Markov
+transition probabilities, jamming window geometry) but no state and no
+randomness.  The stateful half lives in
+:class:`repro.dynamics.schedule.FaultSchedule`, which compiles a
+:class:`~repro.dynamics.spec.DynamicsSpec` (a fault seed plus up to one
+model per kind) against a concrete graph into per-round fault masks.
+
+Three kinds are defined, each drawing from its own counter-hash lane so
+that adding one model never perturbs another model's decisions:
+
+``edge-churn``
+    Every undirected link is an independent two-state Markov chain:
+    an up link goes down with ``p_down`` per round, a down link comes
+    back with ``p_up``.  Transmissions are simply not heard over a down
+    link.
+``node-crash``
+    Every node is an independent alive/crashed Markov chain
+    (``p_crash`` / ``p_recover``).  A crashed node is "radio off": its
+    protocol state is preserved and its draws still advance (so replay
+    accounting is untouched), but it neither transmits nor hears
+    anything until it recovers.
+``jamming``
+    A periodic adversarial window (``period``/``duration``/``offset``)
+    during which a fixed victim set (a ``fraction`` of nodes, chosen
+    once from the fault seed) cannot receive: victims hear noise --
+    ``COLLISION`` under collision detection, ``SILENCE`` without it.
+    Jamming attacks *listening* only; a jammed transmitter still
+    transmits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Counter-hash lane indices (the ``kind`` axis of
+#: :class:`repro.dynamics.streams.FaultStreams`).
+CHURN = 0
+CRASH = 1
+JAM = 2
+
+
+def _probability(name: str, value: Any) -> float:
+    number = float(value)
+    if not 0.0 <= number <= 1.0:
+        raise ConfigurationError(
+            f"{name} must be a probability in [0, 1], got {value!r}"
+        )
+    return number
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """Base class: one named, parameterised fault process.
+
+    Subclasses set ``kind`` (the serialised discriminator) and
+    ``stream`` (their counter-hash lane) and are frozen dataclasses, so
+    specs built from them are hashable and comparable by value.
+    """
+
+    kind: ClassVar[str]
+    stream: ClassVar[int]
+
+    def describe(self) -> dict[str, Any]:
+        """The canonical JSON form: ``kind`` plus the parameters."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        payload.update(dataclasses.asdict(self))
+        return payload
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FaultModel":
+        """Rebuild any model from :meth:`describe` output."""
+        try:
+            kind = data["kind"]
+        except KeyError:
+            raise ConfigurationError(
+                f"fault model mapping needs a 'kind' key, got {dict(data)!r}"
+            ) from None
+        try:
+            cls = _MODEL_KINDS[kind]
+        except KeyError:
+            known = ", ".join(sorted(_MODEL_KINDS))
+            raise ConfigurationError(
+                f"unknown fault model kind {kind!r}; known kinds: {known}"
+            ) from None
+        params = {key: value for key, value in data.items() if key != "kind"}
+        try:
+            return cls(**params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for fault model {kind!r}: {exc}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeChurn(FaultModel):
+    """Per-round Markov up/down link states over every undirected edge."""
+
+    p_down: float
+    p_up: float
+
+    kind: ClassVar[str] = "edge-churn"
+    stream: ClassVar[int] = CHURN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p_down", _probability("p_down", self.p_down))
+        object.__setattr__(self, "p_up", _probability("p_up", self.p_up))
+        if self.p_down > 0.0 and self.p_up == 0.0:
+            raise ConfigurationError(
+                "edge-churn with p_down > 0 and p_up == 0 makes every "
+                "down link permanent; use a small p_up instead"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCrash(FaultModel):
+    """Per-round Markov alive/crashed states over every node."""
+
+    p_crash: float
+    p_recover: float
+
+    kind: ClassVar[str] = "node-crash"
+    stream: ClassVar[int] = CRASH
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "p_crash", _probability("p_crash", self.p_crash)
+        )
+        object.__setattr__(
+            self, "p_recover", _probability("p_recover", self.p_recover)
+        )
+        if self.p_crash > 0.0 and self.p_recover == 0.0:
+            raise ConfigurationError(
+                "node-crash with p_crash > 0 and p_recover == 0 makes "
+                "every crash permanent; use a small p_recover instead"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class JammingWindows(FaultModel):
+    """Periodic adversarial jamming of a fixed fraction of listeners."""
+
+    period: int
+    duration: int
+    offset: int = 0
+    fraction: float = 0.25
+
+    kind: ClassVar[str] = "jamming"
+    stream: ClassVar[int] = JAM
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "period", int(self.period))
+        object.__setattr__(self, "duration", int(self.duration))
+        object.__setattr__(self, "offset", int(self.offset))
+        object.__setattr__(self, "fraction", float(self.fraction))
+        if self.period < 1:
+            raise ConfigurationError(
+                f"period must be >= 1, got {self.period}"
+            )
+        if not 1 <= self.duration <= self.period:
+            raise ConfigurationError(
+                "duration must satisfy 1 <= duration <= period, got "
+                f"duration={self.duration} period={self.period}"
+            )
+        if self.offset < 0:
+            raise ConfigurationError(
+                f"offset must be >= 0, got {self.offset}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {self.fraction!r}"
+            )
+
+    def active(self, round_number: int) -> bool:
+        """Whether the jammer transmits during ``round_number``."""
+        if round_number < self.offset:
+            return False
+        return (round_number - self.offset) % self.period < self.duration
+
+
+_MODEL_KINDS: dict[str, type[FaultModel]] = {
+    cls.kind: cls for cls in (EdgeChurn, NodeCrash, JammingWindows)
+}
+
+#: The serialised ``kind`` discriminators, in stream-lane order.
+MODEL_KINDS = tuple(
+    sorted(_MODEL_KINDS, key=lambda kind: _MODEL_KINDS[kind].stream)
+)

@@ -1,0 +1,130 @@
+"""The :class:`DynamicsSpec`: the fault axis of an execution config.
+
+A spec is the frozen, graph-independent description of a fault
+environment -- a fault seed plus at most one
+:class:`~repro.dynamics.models.FaultModel` per kind.  It is what
+``ExecutionConfig(dynamics=...)`` carries, what ``identity()`` hashes
+(so the service cache never conflates faulty and clean runs), and what
+the benchmark schema's ``dynamics`` block persists.  Binding it to a
+concrete graph happens in
+:class:`~repro.dynamics.schedule.FaultSchedule`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.dynamics.models import (
+    EdgeChurn,
+    FaultModel,
+    JammingWindows,
+    NodeCrash,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DynamicsSpec:
+    """One fault environment: a seed plus up to one model per kind.
+
+    ``models`` accepts :class:`FaultModel` instances or their
+    :meth:`~FaultModel.describe` mappings (the JSON form) and is stored
+    sorted by stream lane, so two specs built from the same models in
+    any order compare and hash equal and serialise identically.
+
+    >>> spec = DynamicsSpec(fault_seed=7,
+    ...                     models=(EdgeChurn(p_down=0.05, p_up=0.35),))
+    >>> DynamicsSpec.from_dict(spec.describe()) == spec
+    True
+    """
+
+    fault_seed: int
+    models: tuple[FaultModel, ...]
+
+    def __post_init__(self) -> None:
+        fault_seed = int(self.fault_seed)
+        if fault_seed < 0:
+            raise ConfigurationError(
+                f"fault_seed must be >= 0, got {fault_seed}"
+            )
+        object.__setattr__(self, "fault_seed", fault_seed)
+        models = []
+        for model in self.models:
+            if isinstance(model, Mapping):
+                model = FaultModel.from_dict(model)
+            elif not isinstance(model, FaultModel):
+                raise ConfigurationError(
+                    "models must be FaultModel instances or their "
+                    f"describe() mappings, got {model!r}"
+                )
+            models.append(model)
+        if not models:
+            raise ConfigurationError(
+                "a DynamicsSpec needs at least one fault model"
+            )
+        kinds = [model.kind for model in models]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigurationError(
+                f"at most one fault model per kind, got kinds {kinds}"
+            )
+        models.sort(key=lambda model: model.stream)
+        object.__setattr__(self, "models", tuple(models))
+
+    @property
+    def churn(self) -> Optional[EdgeChurn]:
+        """The edge-churn model, or ``None``."""
+        return self._model_of(EdgeChurn)
+
+    @property
+    def crash(self) -> Optional[NodeCrash]:
+        """The node-crash model, or ``None``."""
+        return self._model_of(NodeCrash)
+
+    @property
+    def jamming(self) -> Optional[JammingWindows]:
+        """The jamming model, or ``None``."""
+        return self._model_of(JammingWindows)
+
+    def _model_of(self, cls: type) -> Any:
+        for model in self.models:
+            if isinstance(model, cls):
+                return model
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        """The canonical JSON form (models in stream-lane order)."""
+        return {
+            "fault_seed": self.fault_seed,
+            "models": [model.describe() for model in self.models],
+        }
+
+    #: ``to_dict`` is the persistence-layer spelling of :meth:`describe`.
+    to_dict = describe
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DynamicsSpec":
+        """Rebuild a spec from :meth:`describe` output."""
+        try:
+            fault_seed = data["fault_seed"]
+            models = data["models"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"dynamics mapping needs a {exc.args[0]!r} key, "
+                f"got keys {sorted(data)}"
+            ) from None
+        return cls(fault_seed=fault_seed, models=tuple(models))
+
+
+def coerce_dynamics(
+    value: Optional[Any],
+) -> Optional[DynamicsSpec]:
+    """``None`` | :class:`DynamicsSpec` | its mapping form -> spec."""
+    if value is None or isinstance(value, DynamicsSpec):
+        return value
+    if isinstance(value, Mapping):
+        return DynamicsSpec.from_dict(value)
+    raise ConfigurationError(
+        "dynamics must be a DynamicsSpec, its describe() mapping, or "
+        f"None, got {value!r}"
+    )

@@ -293,7 +293,7 @@ def run_benchmark(
         reference_seconds / num_reference if num_reference else None
     )
 
-    return {
+    payload = {
         "schema": SCHEMA_VERSION,
         "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "scenario": scenario.to_dict(),
@@ -345,6 +345,12 @@ def run_benchmark(
             "platform": platform.platform(),
         },
     }
+    if scenario.dynamics is not None:
+        # Top-level mirror of the fault environment (also persisted in
+        # the scenario block), so report tooling can read the fault axis
+        # without parsing scenario internals.  Absent on static runs.
+        payload["dynamics"] = scenario.dynamics.describe()
+    return payload
 
 
 def _run_sharded(
@@ -607,6 +613,23 @@ def _aggregate(scenario: Scenario, results: Sequence) -> dict[str, Any]:
         "receptions": [result.metrics.receptions for result in results],
         "collisions": [result.metrics.collisions for result in results],
     }
+    if scenario.dynamics is not None:
+        # Robustness series, recorded only for fault-injected scenarios
+        # so the 30+ committed static artifacts keep their exact keys
+        # (the golden suite re-derives every summary from per_trial --
+        # summary and series must always appear together).
+        series["delivery_rate"] = [
+            result.metrics.delivery_ratio for result in results
+        ]
+        series["suppressed_links"] = [
+            result.metrics.suppressed_links for result in results
+        ]
+        series["crashed_nodes"] = [
+            result.metrics.crashed_nodes for result in results
+        ]
+        series["jammed_listens"] = [
+            result.metrics.jammed_listens for result in results
+        ]
     for attribute in DEFAULT_ALGORITHMS.get(scenario.algorithm).extra_series:
         series[attribute] = [getattr(result, attribute) for result in results]
     stats: dict[str, Any] = {

@@ -18,6 +18,7 @@ import pathlib
 import re
 from typing import Any, Mapping, Optional, Union
 
+from repro.dynamics import MODEL_KINDS
 from repro.errors import ConfigurationError
 from repro.simulation.rng import RNG_MODES
 from repro.simulation.sparse import ENGINE_KINDS
@@ -117,6 +118,10 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
             "scenario.rng",
             f"must be one of {RNG_MODES}, got {scenario['rng']!r}",
         )
+    # Added in PR 10 (the repro.dynamics fault-injection subsystem);
+    # optional so every static artifact keeps validating unchanged.
+    if "dynamics" in scenario:
+        _dynamics(scenario["dynamics"], path="scenario.dynamics")
     _field(scenario, "topology_args", Mapping, path="scenario.topology_args")
 
     topo = _field(payload, "topology", Mapping)
@@ -189,12 +194,37 @@ def validate_bench(payload: Mapping[str, Any]) -> None:
     if "workers" in payload:
         _int_field(payload, "workers", minimum=1)
 
+    # The top-level dynamics mirror was added in PR 10.  A writer that
+    # records the fault environment records it in both places, so the
+    # two blocks must appear together and agree.
+    has_dynamics = "dynamics" in scenario
+    _expect(
+        ("dynamics" in payload) == has_dynamics,
+        "dynamics",
+        "must be present exactly when scenario.dynamics is present",
+    )
+    if "dynamics" in payload:
+        _dynamics(payload["dynamics"], path="dynamics")
+        _expect(
+            payload["dynamics"] == scenario["dynamics"],
+            "dynamics",
+            "must match scenario.dynamics",
+        )
+
     results = _field(payload, "results", Mapping)
     rate = _field(results, "success_rate", (int, float), path="results.success_rate")
     _expect(0.0 <= rate <= 1.0, "results.success_rate", "must be in [0, 1]")
     series_keys = ["rounds", "transmissions", "receptions", "collisions"]
     if payload["scenario"]["algorithm"] == "leader-election":
         series_keys.append("attempts")
+    if has_dynamics:
+        # Robustness series, recorded exactly when faults were injected.
+        series_keys += [
+            "delivery_rate",
+            "suppressed_links",
+            "crashed_nodes",
+            "jammed_listens",
+        ]
     for key in series_keys:
         _series(results, key)
     # The per-trial block was added in PR 7 (the trend-report subsystem
@@ -299,6 +329,30 @@ def _number_field(
     if minimum is not None:
         _expect(value >= minimum, path or key, f"must be >= {minimum}")
     return float(value)
+
+
+def _dynamics(value: Any, path: str) -> None:
+    """Validate one serialised ``DynamicsSpec`` block (PR 10)."""
+    _expect(isinstance(value, Mapping), path, "must be a JSON object")
+    _int_field(value, "fault_seed", minimum=0, path=f"{path}.fault_seed")
+    models = _field(value, "models", list, path=f"{path}.models")
+    _expect(len(models) >= 1, f"{path}.models", "must name at least one model")
+    seen_kinds = []
+    for index, model in enumerate(models):
+        model_path = f"{path}.models[{index}]"
+        _expect(isinstance(model, Mapping), model_path, "must be a JSON object")
+        kind = _field(model, "kind", str, path=f"{model_path}.kind")
+        _expect(
+            kind in MODEL_KINDS,
+            f"{model_path}.kind",
+            f"must be one of {MODEL_KINDS}, got {kind!r}",
+        )
+        seen_kinds.append(kind)
+    _expect(
+        len(set(seen_kinds)) == len(seen_kinds),
+        f"{path}.models",
+        f"at most one model per kind, got {seen_kinds}",
+    )
 
 
 def _per_trial(

@@ -28,6 +28,13 @@ import dataclasses
 from typing import Any, Iterator, Mapping, Optional
 
 from repro.errors import ConfigurationError
+from repro.dynamics import (
+    DynamicsSpec,
+    EdgeChurn,
+    JammingWindows,
+    NodeCrash,
+    coerce_dynamics,
+)
 from repro.network.graph import Graph
 from repro.network.radio import CollisionModel
 from repro.api import DEFAULT_ALGORITHMS, ExecutionConfig
@@ -106,9 +113,17 @@ class Scenario:
     margin:
         Schedule margin forwarded to
         :class:`~repro.core.parameters.CompeteParameters`.
+    dynamics:
+        Optional :class:`repro.dynamics.DynamicsSpec` (or its
+        ``describe()`` mapping, normalised to the spec): the seeded
+        fault environment the scenario runs under.  ``None`` -- the
+        static network -- for every classic scenario; robustness
+        scenarios persist the spec into the artifact's scenario block
+        and it joins the execution identity, so a faulty baseline can
+        never be compared against its static twin by accident.
     tags:
         Free-form labels for ``--tag`` filtering (e.g. ``"smoke"``,
-        ``"large"``).
+        ``"large"``, ``"dynamics"``).
     """
 
     name: str
@@ -124,6 +139,7 @@ class Scenario:
     trials: int = 8
     seed: int = 2017
     margin: float = DEFAULT_MARGIN
+    dynamics: Optional[DynamicsSpec] = None
     tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -159,6 +175,7 @@ class Scenario:
         algorithm.check(
             collision_model=self.collision(), spontaneous=self.spontaneous
         )
+        object.__setattr__(self, "dynamics", coerce_dynamics(self.dynamics))
         if self.trials < 1:
             raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
         if self.family in RANDOM_FAMILIES and "seed" not in self.topology_args:
@@ -198,11 +215,12 @@ class Scenario:
             collision_model=self.collision(),
             margin=self.margin,
             rng=rng if rng is not None else self.rng,
+            dynamics=self.dynamics,
         )
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON-serialisable form persisted into ``BENCH_*.json``."""
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "family": self.family,
@@ -218,6 +236,11 @@ class Scenario:
             "margin": self.margin,
             "tags": list(self.tags),
         }
+        # Emitted only when set, so every pre-dynamics artifact's
+        # scenario block round-trips byte-identically.
+        if self.dynamics is not None:
+            data["dynamics"] = self.dynamics.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -238,6 +261,7 @@ class Scenario:
             trials=int(data.get("trials", 8)),
             seed=int(data.get("seed", 2017)),
             margin=float(data.get("margin", DEFAULT_MARGIN)),
+            dynamics=data.get("dynamics"),
             tags=tuple(data.get("tags", ())),
         )
 
@@ -517,6 +541,49 @@ def _populate(registry: ScenarioRegistry) -> None:
         {"num_nodes": 64, "edge_probability": 0.08, "seed": 64},
         "leader-election", spontaneous=False, trials=4,
         tags=("random",))
+
+    # --- fault injection / dynamic networks (repro.dynamics) -----------
+    # Twins of the static scenarios above, differing only in the seeded
+    # fault environment; diffing each pair against its static baseline
+    # measures the degradation the churn/crash/jam process inflicts.
+    # Fault decisions are counter hashes of (fault_seed, round, entity),
+    # so the reference runner and both kernels replay the identical
+    # trajectory and the round-exact agreement contract still holds.
+    _grid_churn = DynamicsSpec(
+        fault_seed=2017, models=(EdgeChurn(p_down=0.05, p_up=0.35),)
+    )
+    add("broadcast-grid-n64-churn",
+        "8x8 grid under Markov edge churn "
+        "(~12.5% links down; vs broadcast-grid-n64)",
+        "grid", {"rows": 8, "cols": 8}, "broadcast",
+        dynamics=_grid_churn, tags=("smoke", "dynamics"))
+    add("broadcast-grid-n256-churn",
+        "16x16 grid under Markov edge churn "
+        "(~12.5% links down; vs broadcast-grid-n256)",
+        "grid", {"rows": 16, "cols": 16}, "broadcast",
+        dynamics=_grid_churn, tags=("dynamics",))
+    add("broadcast-gnp-n1024-crash",
+        "connected G(1024, 0.008) under node crash/recovery "
+        "(~7.4% nodes down), sparse kernel",
+        "gnp", {"num_nodes": 1024, "edge_probability": 0.008,
+                "seed": 1024},
+        "broadcast", engine="sparse", trials=4,
+        dynamics=DynamicsSpec(
+            fault_seed=1024,
+            models=(NodeCrash(p_crash=0.02, p_recover=0.25),),
+        ),
+        tags=("dynamics", "random"))
+    add("election-grid-n256-jam",
+        "16x16 grid election under periodic jamming "
+        "(25% victims, 2-of-8 rounds; vs election-grid-n256)",
+        "grid", {"rows": 16, "cols": 16}, "leader-election",
+        spontaneous=False, trials=4,
+        dynamics=DynamicsSpec(
+            fault_seed=2017,
+            models=(JammingWindows(
+                period=8, duration=2, offset=4, fraction=0.25),),
+        ),
+        tags=("dynamics",))
 
     # --- service cold/warm probe pair ------------------------------------
     # Identical execution axes on the identical 64x64 grid, so both map

@@ -30,6 +30,18 @@ class NetworkMetrics:
     idle_listens:
         Total number of (listener, round) pairs where no neighbour
         transmitted.
+    suppressed_links:
+        Total number of (edge, round) pairs where churn
+        (``repro.dynamics``) held an undirected link down, whether or
+        not anything was transmitted over it.  0 on static runs.
+    crashed_nodes:
+        Total number of (node, round) pairs where the node was crashed
+        (radio off: it neither transmits nor listens).  0 on static
+        runs.
+    jammed_listens:
+        Total number of (listener, round) pairs where an alive
+        non-transmitting node was jammed and therefore received
+        nothing.  0 on static runs.
     """
 
     rounds: int = 0
@@ -37,6 +49,9 @@ class NetworkMetrics:
     receptions: int = 0
     collisions: int = 0
     idle_listens: int = 0
+    suppressed_links: int = 0
+    crashed_nodes: int = 0
+    jammed_listens: int = 0
 
     def merge(self, other: "NetworkMetrics") -> "NetworkMetrics":
         """Return a new metrics object summing this one and ``other``."""
@@ -46,6 +61,9 @@ class NetworkMetrics:
             receptions=self.receptions + other.receptions,
             collisions=self.collisions + other.collisions,
             idle_listens=self.idle_listens + other.idle_listens,
+            suppressed_links=self.suppressed_links + other.suppressed_links,
+            crashed_nodes=self.crashed_nodes + other.crashed_nodes,
+            jammed_listens=self.jammed_listens + other.jammed_listens,
         )
 
     def copy(self) -> "NetworkMetrics":
@@ -64,6 +82,9 @@ class NetworkMetrics:
             receptions=self.receptions - earlier.receptions,
             collisions=self.collisions - earlier.collisions,
             idle_listens=self.idle_listens - earlier.idle_listens,
+            suppressed_links=self.suppressed_links - earlier.suppressed_links,
+            crashed_nodes=self.crashed_nodes - earlier.crashed_nodes,
+            jammed_listens=self.jammed_listens - earlier.jammed_listens,
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -74,9 +95,19 @@ class NetworkMetrics:
     def delivery_ratio(self) -> float:
         """Fraction of listen events that resulted in a reception.
 
+        Listen events include the fault-suppressed ones (jammed
+        listeners and crashed nodes' silent rounds), so the ratio
+        degrades under ``repro.dynamics`` fault injection; on static
+        runs those counters are zero and the ratio is unchanged.
         Returns 0.0 when no listen events have occurred.
         """
-        listens = self.receptions + self.collisions + self.idle_listens
+        listens = (
+            self.receptions
+            + self.collisions
+            + self.idle_listens
+            + self.jammed_listens
+            + self.crashed_nodes
+        )
         if listens == 0:
             return 0.0
         return self.receptions / listens

@@ -76,6 +76,16 @@ class RadioNetwork:
     event_log:
         Optional :class:`~repro.network.events.EventLog`; when provided,
         every transmission/reception/collision is traced into it.
+    dynamics:
+        Optional :class:`repro.dynamics.FaultSchedule` (duck-typed --
+        anything with ``round_faults``/``crashed_nodes``/
+        ``jammed_nodes``/``edge_is_up``).  When provided, every round
+        first resolves the schedule's fault state: crashed nodes are
+        radio-off (their transmissions are suppressed and they hear
+        :data:`SILENCE`), down links carry nothing, and jammed alive
+        listeners hear noise (:data:`COLLISION` under detection,
+        :data:`SILENCE` without).  The protocol layer is never told --
+        faults act on the channel, not on node state.
     """
 
     def __init__(
@@ -83,10 +93,12 @@ class RadioNetwork:
         graph: Graph,
         collision_model: CollisionModel = CollisionModel.NO_DETECTION,
         event_log: Optional[EventLog] = None,
+        dynamics: Optional[Any] = None,
     ) -> None:
         self._graph = graph
         self._collision_model = collision_model
         self._event_log = event_log
+        self._dynamics = dynamics
         self._metrics = NetworkMetrics()
         self._round_number = 0
 
@@ -144,22 +156,48 @@ class RadioNetwork:
             if node not in self._graph:
                 raise ProtocolError(f"action supplied for unknown node {node!r}")
 
+        crashed: set[Any] = set()
+        jammed: set[Any] = set()
+        faults = None
+        if self._dynamics is not None:
+            faults = self._dynamics.round_faults(self._round_number)
+            crashed = self._dynamics.crashed_nodes(faults)
+            jammed = self._dynamics.jammed_nodes(faults)
+
         transmitters: dict[Any, Message] = {}
         for node, action in actions.items():
-            if action.is_transmit:
+            # A crashed node's transmission is suppressed here, *after*
+            # the protocol consumed its draw: replay accounting must not
+            # depend on the fault schedule.
+            if action.is_transmit and node not in crashed:
                 assert action.message is not None
                 transmitters[node] = action.message
 
         received: dict[Any, Any] = {}
         for node in self._graph:
+            if node in crashed:
+                # Radio off: a crashed node hears nothing, detectably or
+                # not, until it recovers.
+                received[node] = SILENCE
+                continue
             if node in transmitters:
                 # Half-duplex: a transmitter hears nothing this round.
                 received[node] = SILENCE
                 continue
-            heard = self._reception_for(node, transmitters)
+            if node in jammed:
+                # Jamming is noise on the listener's channel: collision
+                # detectors report it as a collision, others hear
+                # silence; either way no message gets through.
+                received[node] = (
+                    COLLISION
+                    if self._collision_model is CollisionModel.WITH_DETECTION
+                    else SILENCE
+                )
+                continue
+            heard = self._reception_for(node, transmitters, faults)
             received[node] = heard
 
-        self._update_metrics(transmitters, received)
+        self._update_metrics(transmitters, received, faults, crashed, jammed)
         self._trace_round(transmitters, received)
 
         outcome = RoundOutcome(
@@ -170,40 +208,70 @@ class RadioNetwork:
         self._round_number += 1
         return outcome
 
-    def _reception_for(self, node: Any, transmitters: Mapping[Any, Message]) -> Any:
-        """Apply the collision rule for a single listening node."""
-        transmitting_neighbours = [
+    def _transmitting_neighbours(
+        self, node: Any, transmitters: Mapping[Any, Message], faults: Any
+    ) -> list[Any]:
+        """Transmitting neighbours audible over currently-up links."""
+        return [
             neighbour
             for neighbour in self._graph.neighbors(node)
             if neighbour in transmitters
+            and (
+                faults is None
+                or self._dynamics.edge_is_up(faults, node, neighbour)
+            )
         ]
-        if len(transmitting_neighbours) == 1:
-            return transmitters[transmitting_neighbours[0]]
-        if len(transmitting_neighbours) == 0:
+
+    def _reception_for(
+        self,
+        node: Any,
+        transmitters: Mapping[Any, Message],
+        faults: Any = None,
+    ) -> Any:
+        """Apply the collision rule for a single listening node."""
+        audible = self._transmitting_neighbours(node, transmitters, faults)
+        if len(audible) == 1:
+            return transmitters[audible[0]]
+        if len(audible) == 0:
             return SILENCE
         if self._collision_model is CollisionModel.WITH_DETECTION:
             return COLLISION
         return SILENCE
 
     def _update_metrics(
-        self, transmitters: Mapping[Any, Message], received: Mapping[Any, Any]
+        self,
+        transmitters: Mapping[Any, Message],
+        received: Mapping[Any, Any],
+        faults: Any = None,
+        crashed: frozenset = frozenset(),
+        jammed: frozenset = frozenset(),
     ) -> None:
         self._metrics.rounds += 1
         self._metrics.transmissions += len(transmitters)
+        if faults is not None:
+            # Environment counters are per (entity, round) regardless of
+            # traffic -- exactly what the vectorized engines charge.
+            self._metrics.suppressed_links += faults.suppressed
+            self._metrics.crashed_nodes += faults.crashed_count
         for node, heard in received.items():
+            # Bucket precedence: crashed > transmitter > jammed > the
+            # collision/idle split.  Every node lands in exactly one.
+            if node in crashed:
+                continue  # charged via faults.crashed_count above
             if node in transmitters:
+                continue
+            if node in jammed:
+                self._metrics.jammed_listens += 1
                 continue
             if isinstance(heard, Message):
                 self._metrics.receptions += 1
             else:
                 # Count the true collision/idle split regardless of whether
                 # the node could observe the difference.
-                transmitting_neighbours = sum(
-                    1
-                    for neighbour in self._graph.neighbors(node)
-                    if neighbour in transmitters
+                audible = self._transmitting_neighbours(
+                    node, transmitters, faults
                 )
-                if transmitting_neighbours >= 2:
+                if len(audible) >= 2:
                     self._metrics.collisions += 1
                 else:
                     self._metrics.idle_listens += 1

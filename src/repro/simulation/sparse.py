@@ -219,7 +219,10 @@ class CSRAdjacency:
         return matrix
 
     def counts_and_rank_sums(
-        self, transmit: np.ndarray, ranks: np.ndarray
+        self,
+        transmit: np.ndarray,
+        ranks: np.ndarray,
+        entry_mask: Optional[np.ndarray] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-listener transmitter counts and transmitted-rank sums.
 
@@ -230,6 +233,13 @@ class CSRAdjacency:
             round.
         ranks:
             ``int64`` array of the same shape: each node's current rank.
+        entry_mask:
+            Optional boolean array of shape ``(num_entries,)``: which
+            directed CSR entries currently carry signal.  ``False``
+            entries (links held down by ``repro.dynamics`` edge churn
+            this round) contribute neither counts nor rank sums.  The
+            default (``None``) is the static-topology fast path and is
+            byte-identical to the pre-dynamics kernel.
 
         Returns ``(counts, sums)``, both ``int64`` of shape
         ``(trials, n)``: ``counts[t, j]`` is how many neighbours of ``j``
@@ -241,10 +251,16 @@ class CSRAdjacency:
         """
         gathered = transmit[:, self._indices].astype(np.int64)
         weighted = (ranks * transmit)[:, self._indices]
+        if entry_mask is not None:
+            gathered *= entry_mask[None, :]
+            weighted *= entry_mask[None, :]
         return self._segment_sum(gathered), self._segment_sum(weighted)
 
     def transmitter_counts_and_rank_sums(
-        self, transmit: np.ndarray, ranks: np.ndarray
+        self,
+        transmit: np.ndarray,
+        ranks: np.ndarray,
+        entry_mask: Optional[np.ndarray] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Same contract as :meth:`counts_and_rank_sums`, transmitter-driven.
 
@@ -291,13 +307,22 @@ class CSRAdjacency:
         np.multiply(flat_index // n, n, out=per_edge[1])
         per_edge[2] = ranks.ravel()[flat_index]
         expanded = np.repeat(per_edge, lengths, axis=1)
-        listeners = self._indices[expanded[0] + np.arange(total)]
+        positions = expanded[0] + np.arange(total)
+        listeners = self._indices[positions]
         flat = expanded[1] + listeners
+        weights = expanded[2]
+        if entry_mask is not None:
+            # Drop the contributions riding over down links before the
+            # scatter-add; the surviving entries are unchanged, so the
+            # masked result equals the gather kernel's bit for bit.
+            up = entry_mask[positions]
+            flat = flat[up]
+            weights = weights[up]
         counts = np.bincount(flat, minlength=trials * n).astype(
             np.int64, copy=False
         ).reshape(trials, n)
         sums = np.bincount(
-            flat, weights=expanded[2].astype(np.float64), minlength=trials * n
+            flat, weights=weights.astype(np.float64), minlength=trials * n
         ).astype(np.int64).reshape(trials, n)
         return counts, sums
 

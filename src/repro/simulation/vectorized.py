@@ -162,6 +162,9 @@ class BatchOutcome:
     transmissions / receptions / collisions / idle_listens:
         Per-trial metric counters with exactly the semantics of
         :class:`~repro.network.metrics.NetworkMetrics`.
+    suppressed_links / crashed_nodes / jammed_listens:
+        Per-trial fault counters (:mod:`repro.dynamics`), all zero on
+        static runs.
     """
 
     nodes: tuple
@@ -173,6 +176,9 @@ class BatchOutcome:
     receptions: np.ndarray
     collisions: np.ndarray
     idle_listens: np.ndarray
+    suppressed_links: np.ndarray
+    crashed_nodes: np.ndarray
+    jammed_listens: np.ndarray
 
     @property
     def num_trials(self) -> int:
@@ -186,6 +192,9 @@ class BatchOutcome:
             receptions=int(self.receptions[trial]),
             collisions=int(self.collisions[trial]),
             idle_listens=int(self.idle_listens[trial]),
+            suppressed_links=int(self.suppressed_links[trial]),
+            crashed_nodes=int(self.crashed_nodes[trial]),
+            jammed_listens=int(self.jammed_listens[trial]),
         )
 
 
@@ -235,6 +244,16 @@ class VectorizedCompeteEngine:
         seeds, but only *distributionally* equivalent to the reference
         (``tests/test_rng_decoupled.py`` enforces that contract
         statistically).
+    dynamics:
+        Optional :class:`repro.dynamics.FaultSchedule` bound to this
+        graph.  Each round the engine resolves the schedule's fault
+        state and applies it to the channel: crashed nodes neither
+        transmit nor receive, down links are masked out of the
+        adjacency structure (a per-round masked copy under the dense
+        kernel, an entry mask under the sparse one), and jammed alive
+        listeners receive nothing.  Fault decisions are pure counter
+        hashes shared with the reference runner, so the round-exact
+        equivalence contract extends to faulty runs unchanged.
     config:
         An :class:`~repro.api.config.ExecutionConfig` describing the
         whole run: the strategy is compiled to the schedule, the round
@@ -254,18 +273,19 @@ class VectorizedCompeteEngine:
         draw_block: int = DEFAULT_DRAW_BLOCK,
         engine: str = "auto",
         rng: str = "replay",
+        dynamics=None,
         config=None,
     ) -> None:
         if config is not None:
             if (decay_steps is not None or schedule is not None
                     or max_rounds is not None or engine != "auto"
                     or draw_block != DEFAULT_DRAW_BLOCK
-                    or rng != "replay"):
+                    or rng != "replay" or dynamics is not None):
                 raise ConfigurationError(
                     "pass either config= or the explicit decay_steps/"
-                    "schedule/max_rounds/engine/draw_block/rng keywords, "
-                    "not both (the config carries its own engine, "
-                    "draw_block and rng)"
+                    "schedule/max_rounds/engine/draw_block/rng/dynamics "
+                    "keywords, not both (the config carries its own "
+                    "engine, draw_block, rng and dynamics)"
                 )
             # api sits above simulation in the layering, so the import
             # is local; resolution applies the density heuristic once.
@@ -277,6 +297,7 @@ class VectorizedCompeteEngine:
             engine = resolved.engine
             draw_block = config.draw_block
             rng = config.rng
+            dynamics = resolved.fault_schedule
         if max_rounds is None:
             raise ConfigurationError(
                 "max_rounds is required when no config is given"
@@ -309,6 +330,13 @@ class VectorizedCompeteEngine:
             dtype = np.float32 if len(nodes) ** 2 < 2**24 else np.float64
             self._adjacency = matrix.astype(dtype)
         self._nodes = tuple(nodes)
+        self._dynamics = dynamics
+        if dynamics is not None and tuple(dynamics.nodes) != self._nodes:
+            raise ConfigurationError(
+                "dynamics was compiled for a different node order; "
+                "build the FaultSchedule from the same graph as the "
+                "engine"
+            )
         if schedule is not None:
             # One row of per-node probabilities per round of the cycle;
             # the run loop indexes row ``round % cycle_length``.
@@ -356,7 +384,7 @@ class VectorizedCompeteEngine:
         return self._rng
 
     def _round_reception(
-        self, transmit: np.ndarray, ranks: np.ndarray
+        self, transmit: np.ndarray, ranks: np.ndarray, faults=None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """One round's reception outcome under the selected kernel.
 
@@ -367,26 +395,42 @@ class VectorizedCompeteEngine:
         compute identical values -- the dense one as float matrix
         products (exact below the dtype's integer range, see
         ``__init__``), the sparse one as int64 segment sums.
+
+        ``faults`` (a :class:`repro.dynamics.RoundFaults`) masks churned
+        links out of the structure for this round: the dense kernel
+        multiplies against a copy with the down pairs zeroed, the sparse
+        kernels drop the down CSR entries.  Both see the identical
+        ``edge_up`` array, so they keep agreeing bit for bit.
         """
         if self._engine == "dense":
             adjacency = self._adjacency
+            if faults is not None and faults.edge_up is not None:
+                down = ~faults.edge_up
+                if down.any():
+                    lo, hi = self._dynamics.edge_endpoints
+                    adjacency = adjacency.copy()
+                    adjacency[lo[down], hi[down]] = 0
+                    adjacency[hi[down], lo[down]] = 0
             transmit_f = transmit.astype(adjacency.dtype)
             counts = transmit_f @ adjacency
             received = (
                 (transmit_f * ranks.astype(adjacency.dtype)) @ adjacency
             ).astype(np.int64)
             return counts == 1.0, counts >= 2.0, received
+        entry_mask = None
+        if faults is not None and faults.edge_up is not None:
+            entry_mask = faults.edge_up[self._dynamics.entry_edge_ids]
         if self._rng == "decoupled":
             # The decoupled fast mode pairs the hash RNG with the
             # transmitter-driven kernel (identical values, far less
             # gather work); replay keeps the original all-edges kernel
             # so the reference-parity path stays byte-identical.
             counts, received = self._csr.transmitter_counts_and_rank_sums(
-                transmit, ranks
+                transmit, ranks, entry_mask
             )
         else:
             counts, received = self._csr.counts_and_rank_sums(
-                transmit, ranks
+                transmit, ranks, entry_mask
             )
         return counts == 1, counts >= 2, received
 
@@ -433,6 +477,9 @@ class VectorizedCompeteEngine:
         receptions = np.zeros(num_trials, dtype=np.int64)
         collisions = np.zeros(num_trials, dtype=np.int64)
         idle_listens = np.zeros(num_trials, dtype=np.int64)
+        suppressed_links = np.zeros(num_trials, dtype=np.int64)
+        crashed_nodes = np.zeros(num_trials, dtype=np.int64)
+        jammed_listens = np.zeros(num_trials, dtype=np.int64)
 
         def saturated_now() -> np.ndarray:
             if winner_rank is None:
@@ -450,13 +497,37 @@ class VectorizedCompeteEngine:
         silent = active & ~(ranks > NO_MESSAGE).any(axis=1)
         if silent.any():
             rounds[silent] = self._max_rounds
-            idle_listens[silent] += self._max_rounds * len(self._nodes)
+            if self._dynamics is None:
+                idle_listens[silent] += self._max_rounds * len(self._nodes)
+            else:
+                # Fault-aware silent charge: nobody ever transmits, but
+                # the environment still ticks round by round -- crashed
+                # nodes and alive jammed listeners are charged to their
+                # own counters, the rest idle, and down links accrue as
+                # always.  Scalar per-round totals, shared by every
+                # silent trial; the main loop below rewinds the schedule
+                # cursor back to round 0 (an O(rounds) hash replay).
+                num_nodes = len(self._nodes)
+                idle_total = crashed_total = 0
+                jammed_total = suppressed_total = 0
+                for round_number in range(self._max_rounds):
+                    faults = self._dynamics.round_faults(round_number)
+                    jam = int((faults.jammed & faults.alive).sum())
+                    crashed_total += faults.crashed_count
+                    jammed_total += jam
+                    idle_total += num_nodes - faults.crashed_count - jam
+                    suppressed_total += faults.suppressed
+                idle_listens[silent] += idle_total
+                crashed_nodes[silent] += crashed_total
+                jammed_listens[silent] += jammed_total
+                suppressed_links[silent] += suppressed_total
             active &= ~silent
 
         if not active.any() or self._max_rounds == 0:
             return self._outcome(
                 rounds, saturated, ranks, adopted,
                 transmissions, receptions, collisions, idle_listens,
+                suppressed_links, crashed_nodes, jammed_listens,
             )
 
         replay = self._rng == "replay"
@@ -485,14 +556,33 @@ class VectorizedCompeteEngine:
                     < self._thresholds[round_number % cycle_length]
                 )
 
+            if self._dynamics is not None:
+                # Crash suppression happens *after* the draws above were
+                # taken: a crashed node's stream still advances exactly
+                # as in the reference runner, where the protocol draws
+                # and the network drops the transmission.
+                faults = self._dynamics.round_faults(round_number)
+                alive = faults.alive
+                transmit &= alive[None, :]
+            else:
+                faults = None
+
             unique, collided, received = self._round_reception(
-                transmit, ranks
+                transmit, ranks, faults
             )
             # Half-duplex: a transmitter hears nothing this round, so
             # only non-transmitting nodes with a unique transmitting
             # neighbour receive (or, at >= 2, observe a collision).
+            # Under faults, crashed and jammed nodes cannot receive
+            # (or observe anything) either.
             not_transmitting = ~transmit
-            receiving = unique & not_transmitting
+            if faults is None:
+                eligible = not_transmitting
+            else:
+                eligible = (
+                    not_transmitting & (alive & ~faults.jammed)[None, :]
+                )
+            receiving = unique & eligible
             received_ranks = np.where(receiving, received, NO_MESSAGE)
 
             improved = received_ranks > ranks
@@ -506,20 +596,38 @@ class VectorizedCompeteEngine:
 
             transmit_counts = transmit.sum(axis=1)
             reception_counts = receiving.sum(axis=1)
-            collision_counts = (collided & not_transmitting).sum(axis=1)
+            collision_counts = (collided & eligible).sum(axis=1)
             rounds[active] += 1
             transmissions += np.where(active, transmit_counts, 0)
             receptions += np.where(active, reception_counts, 0)
             collisions += np.where(active, collision_counts, 0)
-            # Every non-transmitter listens, and unique/collided/silent
-            # air partition what it hears -- so idle listens are the
-            # listeners the other two counters did not claim.
-            idle_listens += np.where(
-                active,
-                num_nodes - transmit_counts
-                - reception_counts - collision_counts,
-                0,
-            )
+            if faults is None:
+                # Every non-transmitter listens, and unique/collided/
+                # silent air partition what it hears -- so idle listens
+                # are the listeners the other two counters did not claim.
+                idle_listens += np.where(
+                    active,
+                    num_nodes - transmit_counts
+                    - reception_counts - collision_counts,
+                    0,
+                )
+            else:
+                # Faulty partition: transmitters + crashed + jammed
+                # alive listeners + receptions + collisions + idle = n,
+                # each node in exactly one bucket (crashed beats
+                # transmitter beats jammed).
+                jam_counts = (
+                    (faults.jammed & alive)[None, :] & not_transmitting
+                ).sum(axis=1)
+                idle_listens += np.where(
+                    active,
+                    num_nodes - transmit_counts - faults.crashed_count
+                    - jam_counts - reception_counts - collision_counts,
+                    0,
+                )
+                suppressed_links += np.where(active, faults.suppressed, 0)
+                crashed_nodes += np.where(active, faults.crashed_count, 0)
+                jammed_listens += np.where(active, jam_counts, 0)
 
             if saturation_may_change:
                 saturated = saturated_now()
@@ -530,6 +638,7 @@ class VectorizedCompeteEngine:
         return self._outcome(
             rounds, saturated, ranks, adopted,
             transmissions, receptions, collisions, idle_listens,
+            suppressed_links, crashed_nodes, jammed_listens,
         )
 
     def _outcome(
@@ -542,6 +651,9 @@ class VectorizedCompeteEngine:
         receptions: np.ndarray,
         collisions: np.ndarray,
         idle_listens: np.ndarray,
+        suppressed_links: np.ndarray,
+        crashed_nodes: np.ndarray,
+        jammed_listens: np.ndarray,
     ) -> BatchOutcome:
         return BatchOutcome(
             nodes=self._nodes,
@@ -553,6 +665,9 @@ class VectorizedCompeteEngine:
             receptions=receptions,
             collisions=collisions,
             idle_listens=idle_listens,
+            suppressed_links=suppressed_links,
+            crashed_nodes=crashed_nodes,
+            jammed_listens=jammed_listens,
         )
 
 

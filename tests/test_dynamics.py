@@ -1,0 +1,312 @@
+"""The repro.dynamics subsystem: models, streams, schedules, identity.
+
+Cross-backend *agreement* under faults is enforced by the equivalence
+harness (``tests/test_engine_equivalence.py``); this module owns the
+subsystem's local contracts: spec validation and serialisation, the
+counter-hash fault streams' determinism, the Markov schedule's rewind
+semantics, how the fault axis enters (and stays out of)
+``ExecutionConfig`` identities, and the new robustness counters.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import topology
+from repro.api import ExecutionConfig
+from repro.dynamics import (
+    CHURN,
+    CRASH,
+    JAM,
+    MODEL_KINDS,
+    DynamicsSpec,
+    EdgeChurn,
+    FaultModel,
+    FaultSchedule,
+    FaultStreams,
+    JammingWindows,
+    NodeCrash,
+    coerce_dynamics,
+)
+from repro.errors import ConfigurationError
+from repro.network.metrics import NetworkMetrics
+
+
+CHURN_SPEC = DynamicsSpec(
+    fault_seed=7, models=(EdgeChurn(p_down=0.1, p_up=0.4),)
+)
+FULL_SPEC = DynamicsSpec(
+    fault_seed=2017,
+    models=(
+        EdgeChurn(p_down=0.05, p_up=0.35),
+        NodeCrash(p_crash=0.02, p_recover=0.25),
+        JammingWindows(period=8, duration=2, offset=4, fraction=0.25),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# fault models
+# ----------------------------------------------------------------------
+def test_model_parameter_validation():
+    with pytest.raises(ConfigurationError, match="p_down"):
+        EdgeChurn(p_down=1.5, p_up=0.5)
+    with pytest.raises(ConfigurationError, match="p_crash"):
+        NodeCrash(p_crash=-0.1, p_recover=0.5)
+    # Permanent faults (a nonzero down-rate with no recovery) would
+    # monotonically disconnect the network; both Markov models reject it.
+    with pytest.raises(ConfigurationError, match="p_up"):
+        EdgeChurn(p_down=0.2, p_up=0.0)
+    with pytest.raises(ConfigurationError, match="p_recover"):
+        NodeCrash(p_crash=0.2, p_recover=0.0)
+    with pytest.raises(ConfigurationError):
+        JammingWindows(period=0, duration=1)
+    with pytest.raises(ConfigurationError):
+        JammingWindows(period=4, duration=5)
+    with pytest.raises(ConfigurationError):
+        JammingWindows(period=4, duration=2, offset=-1)
+    with pytest.raises(ConfigurationError):
+        JammingWindows(period=4, duration=2, fraction=2.0)
+
+
+def test_jamming_window_phase():
+    jam = JammingWindows(period=6, duration=2, offset=3)
+    active = [round_ for round_ in range(15) if jam.active(round_)]
+    assert active == [3, 4, 9, 10]
+    # Zero duration is a valid no-op jammer configuration? No: duration
+    # must be >= 1, so the narrowest window is one round wide.
+    always = JammingWindows(period=1, duration=1)
+    assert all(always.active(round_) for round_ in range(5))
+
+
+def test_model_describe_round_trip_and_kind_dispatch():
+    for model in FULL_SPEC.models:
+        assert FaultModel.from_dict(model.describe()) == model
+        assert model.describe()["kind"] in MODEL_KINDS
+    with pytest.raises(ConfigurationError, match="kind"):
+        FaultModel.from_dict({"p_down": 0.1})
+    with pytest.raises(ConfigurationError, match="unknown fault model"):
+        FaultModel.from_dict({"kind": "meteor-strike"})
+    with pytest.raises(ConfigurationError):
+        FaultModel.from_dict({"kind": "edge-churn", "p_down": 0.1})
+
+
+# ----------------------------------------------------------------------
+# DynamicsSpec
+# ----------------------------------------------------------------------
+def test_spec_round_trips_and_sorts_models_by_lane():
+    rebuilt = DynamicsSpec.from_dict(FULL_SPEC.describe())
+    assert rebuilt == FULL_SPEC
+    assert json.loads(json.dumps(FULL_SPEC.describe())) == FULL_SPEC.describe()
+    # Construction order never matters: models are stored in stream-lane
+    # order, so shuffled inputs compare and serialise identically.
+    shuffled = DynamicsSpec(
+        fault_seed=2017, models=tuple(reversed(FULL_SPEC.models))
+    )
+    assert shuffled == FULL_SPEC
+    assert [m.kind for m in shuffled.models] == list(MODEL_KINDS)
+    assert shuffled.churn == FULL_SPEC.models[CHURN]
+    assert shuffled.crash == FULL_SPEC.models[CRASH]
+    assert shuffled.jamming == FULL_SPEC.models[JAM]
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError, match="fault_seed"):
+        DynamicsSpec(fault_seed=-1, models=(EdgeChurn(0.1, 0.4),))
+    with pytest.raises(ConfigurationError, match="at least one"):
+        DynamicsSpec(fault_seed=0, models=())
+    with pytest.raises(ConfigurationError, match="per kind"):
+        DynamicsSpec(
+            fault_seed=0,
+            models=(EdgeChurn(0.1, 0.4), EdgeChurn(0.2, 0.4)),
+        )
+    with pytest.raises(ConfigurationError, match="models"):
+        DynamicsSpec(fault_seed=0, models=(42,))
+
+
+def test_coerce_dynamics():
+    assert coerce_dynamics(None) is None
+    assert coerce_dynamics(CHURN_SPEC) is CHURN_SPEC
+    assert coerce_dynamics(CHURN_SPEC.describe()) == CHURN_SPEC
+    with pytest.raises(ConfigurationError, match="dynamics"):
+        coerce_dynamics("churn")
+
+
+# ----------------------------------------------------------------------
+# FaultStreams: the counter-hash lanes
+# ----------------------------------------------------------------------
+def test_streams_are_deterministic_pure_functions():
+    a = FaultStreams(fault_seed=99)
+    b = FaultStreams(fault_seed=99)
+    for round_ in (0, 1, 17):
+        for kind in (CHURN, CRASH, JAM):
+            np.testing.assert_array_equal(
+                a.bits(round_, kind, 32), b.bits(round_, kind, 32)
+            )
+    # Query order is irrelevant -- streams hold no cursor state.
+    late = a.bits(5, CHURN, 8).copy()
+    a.bits(0, CRASH, 8)
+    np.testing.assert_array_equal(a.bits(5, CHURN, 8), late)
+
+
+def test_streams_decorrelate_across_seed_round_kind():
+    base = FaultStreams(fault_seed=1).bits(3, CHURN, 64)
+    assert not np.array_equal(base, FaultStreams(2).bits(3, CHURN, 64))
+    assert not np.array_equal(base, FaultStreams(1).bits(4, CHURN, 64))
+    assert not np.array_equal(base, FaultStreams(1).bits(3, CRASH, 64))
+    uniforms = FaultStreams(1).uniforms(3, CHURN, 4096)
+    assert uniforms.shape == (4096,)
+    assert np.all((uniforms >= 0.0) & (uniforms < 1.0))
+    # Coarse uniformity sanity: the mean of 4096 U(0,1) draws.
+    assert abs(float(uniforms.mean()) - 0.5) < 0.05
+
+
+def test_streams_validate_arguments():
+    with pytest.raises(ConfigurationError):
+        FaultStreams(fault_seed=-1)
+    streams = FaultStreams(fault_seed=0)
+    with pytest.raises(ConfigurationError):
+        streams.bits(-1, CHURN, 4)
+    with pytest.raises(ConfigurationError):
+        streams.bits(0, 99, 4)
+    with pytest.raises(ConfigurationError):
+        streams.bits(0, CHURN, -1)
+    # Zero entities is a valid (empty) query, not an error.
+    assert streams.bits(0, CHURN, 0).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# FaultSchedule: Markov evolution + rewind
+# ----------------------------------------------------------------------
+def test_schedule_canonical_enumeration():
+    graph = topology.grid_graph(4, 4)
+    schedule = FaultSchedule(FULL_SPEC, graph)
+    assert schedule.num_nodes == graph.num_nodes
+    assert schedule.num_edges == graph.num_edges
+    assert tuple(schedule.nodes) == tuple(graph.adjacency_csr()[2])
+    lo, hi = schedule.edge_endpoints
+    assert np.all(lo < hi)
+    # Every directed CSR entry maps back onto a canonical edge id.
+    assert schedule.entry_edge_ids.shape == (2 * graph.num_edges,)
+    assert int(schedule.entry_edge_ids.max()) == graph.num_edges - 1
+
+
+def test_schedule_rewind_replays_identically():
+    graph = topology.grid_graph(5, 5)
+    schedule = FaultSchedule(FULL_SPEC, graph)
+    forward = [schedule.round_faults(r) for r in range(12)]
+    # Rewinding to an earlier round resets the chains and replays from
+    # round 0 -- exactly what a fresh run or the engines' silent-trial
+    # prepass does -- so the trajectory must be reproduced bit for bit.
+    for r in (0, 4, 11):
+        again = schedule.round_faults(r)
+        np.testing.assert_array_equal(again.alive, forward[r].alive)
+        np.testing.assert_array_equal(again.jammed, forward[r].jammed)
+        np.testing.assert_array_equal(again.edge_up, forward[r].edge_up)
+        assert again.suppressed == forward[r].suppressed
+        assert again.crashed_count == forward[r].crashed_count
+    # A second schedule over the same (spec, graph) sees the identical
+    # environment: faults are a function of (fault_seed, graph) only.
+    twin = FaultSchedule(FULL_SPEC, graph)
+    for r in (0, 3, 7):
+        np.testing.assert_array_equal(
+            twin.round_faults(r).edge_up, forward[r].edge_up
+        )
+
+
+def test_schedule_returns_fresh_arrays_and_set_helpers():
+    graph = topology.grid_graph(4, 4)
+    schedule = FaultSchedule(FULL_SPEC, graph)
+    faults = schedule.round_faults(5)
+    faults.alive[:] = False
+    faults.edge_up[:] = False
+    clean = schedule.round_faults(5)
+    assert clean.crashed_count < schedule.num_nodes
+    crashed = schedule.crashed_nodes(clean)
+    jammed = schedule.jammed_nodes(clean)
+    assert len(crashed) == clean.crashed_count
+    assert all(node in graph for node in crashed | jammed)
+    # jammed_nodes intersects the victim set with the living.
+    assert not (jammed & crashed)
+    # edge_is_up answers for both orientations of an undirected edge.
+    lo, hi = schedule.edge_endpoints
+    nodes = schedule.nodes
+    u, v = nodes[int(lo[0])], nodes[int(hi[0])]
+    assert schedule.edge_is_up(clean, u, v) == schedule.edge_is_up(
+        clean, v, u
+    )
+
+
+def test_schedule_without_churn_keeps_links_up():
+    graph = topology.star_graph(6)
+    crash_only = DynamicsSpec(
+        fault_seed=3, models=(NodeCrash(p_crash=0.1, p_recover=0.5),)
+    )
+    schedule = FaultSchedule(crash_only, graph)
+    for r in range(6):
+        faults = schedule.round_faults(r)
+        assert faults.edge_up is None
+        assert faults.suppressed == 0
+        assert not faults.jammed.any()
+
+
+# ----------------------------------------------------------------------
+# identity: the fault axis must (only) matter when present
+# ----------------------------------------------------------------------
+def test_identity_excludes_dynamics_when_static():
+    static = ExecutionConfig()
+    assert "dynamics" not in static.describe()
+    faulty = ExecutionConfig(dynamics=CHURN_SPEC)
+    assert faulty.describe()["dynamics"] == CHURN_SPEC.describe()
+    assert static.identity() != faulty.identity()
+    assert static.cache_key("topo") != faulty.cache_key("topo")
+    # Mapping and spec spellings coerce to the same identity; different
+    # fault seeds diverge (the service cache must never conflate them).
+    assert (
+        ExecutionConfig(dynamics=CHURN_SPEC.describe()).identity()
+        == faulty.identity()
+    )
+    reseeded = ExecutionConfig(
+        dynamics=DynamicsSpec(fault_seed=8, models=CHURN_SPEC.models)
+    )
+    assert reseeded.identity() != faulty.identity()
+
+
+def test_resolved_execution_binds_one_fault_schedule():
+    graph = topology.grid_graph(4, 4)
+    from repro.api.config import resolve_execution
+
+    static = resolve_execution(graph, ExecutionConfig())
+    assert static.fault_schedule is None
+    resolved = resolve_execution(graph, ExecutionConfig(dynamics=FULL_SPEC))
+    schedule = resolved.fault_schedule
+    assert isinstance(schedule, FaultSchedule)
+    assert resolved.fault_schedule is schedule
+    assert schedule.spec == FULL_SPEC
+
+
+# ----------------------------------------------------------------------
+# robustness counters
+# ----------------------------------------------------------------------
+def test_metrics_carry_fault_counters():
+    a = NetworkMetrics(
+        rounds=2, transmissions=3, receptions=1, collisions=1,
+        idle_listens=2, suppressed_links=4, crashed_nodes=1,
+        jammed_listens=2,
+    )
+    b = a.copy()
+    merged = a.merge(b)
+    assert merged.suppressed_links == 8
+    assert merged.crashed_nodes == 2
+    assert merged.jammed_listens == 4
+    assert merged.diff(a).jammed_listens == 2
+    # Crashed and jammed listener slots count toward the delivery
+    # denominator: a faulty run cannot report a better ratio than the
+    # same traffic on a healthy network.
+    healthy = NetworkMetrics(
+        rounds=2, transmissions=3, receptions=1, collisions=1,
+        idle_listens=2,
+    )
+    assert a.delivery_ratio < healthy.delivery_ratio
+    assert a.as_dict()["suppressed_links"] == 4

@@ -22,12 +22,18 @@ decomposition/schedule structure in ``tests/test_clustering.py``.
 """
 
 import dataclasses
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import pytest
 
 from repro import topology
 from repro.api import ExecutionConfig
+from repro.dynamics import (
+    DynamicsSpec,
+    EdgeChurn,
+    JammingWindows,
+    NodeCrash,
+)
 from repro.core.broadcast import broadcast
 from repro.core.compete import Compete, compete
 from repro.core.leader_election import elect_leader
@@ -58,6 +64,7 @@ class Case:
     collision_model: CollisionModel = NO_DETECT
     spontaneous: bool = True
     seeds: Tuple[int, ...] = (0, 7)
+    dynamics: Optional[DynamicsSpec] = None
     slow: bool = False
 
 
@@ -114,6 +121,41 @@ CASES = [
          algorithm="election", strategy="clustered", spontaneous=False),
     Case("election-star-spontaneous", lambda: topology.star_graph(8),
          algorithm="election", spontaneous=True),
+    # --- fault injection: every path sees the same fault stream --------
+    # The repro.dynamics contract (keyed on (fault_seed, round, entity),
+    # never on the trial) means the reference runner and both kernels
+    # must make bit-identical fault decisions -- these rows enforce it
+    # for each fault kind alone and for all three stacked.
+    Case("broadcast-grid-churn", lambda: topology.grid_graph(6, 6),
+         algorithm="broadcast",
+         dynamics=DynamicsSpec(
+             fault_seed=11,
+             models=(EdgeChurn(p_down=0.08, p_up=0.4),))),
+    Case("compete-gnp-crash",
+         lambda: topology.connected_gnp_graph(20, 0.2, seed=6),
+         dynamics=DynamicsSpec(
+             fault_seed=5,
+             models=(NodeCrash(p_crash=0.03, p_recover=0.3),))),
+    Case("election-grid-jam-detect", lambda: topology.grid_graph(4, 4),
+         algorithm="election", spontaneous=False,
+         collision_model=DETECT,
+         dynamics=DynamicsSpec(
+             fault_seed=3,
+             models=(JammingWindows(period=6, duration=2, offset=2,
+                                    fraction=0.3),))),
+    Case("broadcast-tree-churn-crash-jam",
+         lambda: topology.binary_tree_graph(5),
+         algorithm="broadcast",
+         dynamics=DynamicsSpec(
+             fault_seed=2017,
+             models=(EdgeChurn(p_down=0.05, p_up=0.35),
+                     NodeCrash(p_crash=0.02, p_recover=0.25),
+                     JammingWindows(period=8, duration=2, offset=4)))),
+    Case("compete-path-churn-classical", lambda: topology.path_graph(14),
+         spontaneous=False,
+         dynamics=DynamicsSpec(
+             fault_seed=8,
+             models=(EdgeChurn(p_down=0.04, p_up=0.5),))),
     # --- the large-n regime (excluded in CI via -m "not slow") ---------
     Case("compete-grid-n1024", lambda: topology.grid_graph(32, 32),
          seeds=(0,), slow=True),
@@ -159,6 +201,7 @@ def run_case(
             strategy=case.strategy,
             collision_model=case.collision_model,
             rng=rng,
+            dynamics=case.dynamics,
         ),
     )
     if case.algorithm == "compete":

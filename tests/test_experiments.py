@@ -7,6 +7,7 @@ import pathlib
 
 import pytest
 
+from repro.dynamics import DynamicsSpec, EdgeChurn
 from repro.errors import ConfigurationError
 from repro.experiments import (
     DEFAULT_REGISTRY,
@@ -151,6 +152,58 @@ def test_rng_field_round_trips_and_validates():
                  rng="quantum")
 
 
+def test_dynamics_field_round_trips_and_validates():
+    churn = Scenario(
+        name="x-churn", description="", family="path",
+        topology_args={"num_nodes": 8}, algorithm="broadcast",
+        dynamics={"fault_seed": 7,
+                  "models": [{"kind": "edge-churn",
+                              "p_down": 0.1, "p_up": 0.4}]},
+    )
+    # The mapping form coerces to a DynamicsSpec and threads into the
+    # execution config, so the engines see the fault axis.
+    assert churn.dynamics == DynamicsSpec(
+        fault_seed=7, models=(EdgeChurn(p_down=0.1, p_up=0.4),)
+    )
+    assert churn.execution_config().dynamics == churn.dynamics
+    rebuilt = Scenario.from_dict(churn.to_dict())
+    assert rebuilt.dynamics == churn.dynamics
+    # Static scenarios serialise without the key (pre-PR-10 artifacts
+    # and their identities stay byte-identical).
+    assert "dynamics" not in TINY.to_dict()
+    assert Scenario.from_dict(TINY.to_dict()).dynamics is None
+    with pytest.raises(ConfigurationError):
+        Scenario(name="x", description="", family="path",
+                 topology_args={"num_nodes": 8}, algorithm="broadcast",
+                 dynamics={"fault_seed": 7, "models": []})
+
+
+def test_dynamics_scenarios_are_registered():
+    # The robustness sweep: static/churn twins at two grid sizes, a
+    # sparse-engine crash scenario, and a jammed election -- with one
+    # fast churn row tagged smoke so CI's smoke-benchmark and perf-gate
+    # steps exercise the fault path on every push.
+    for name in ("broadcast-grid-n64-churn", "broadcast-grid-n256-churn",
+                 "broadcast-gnp-n1024-crash", "election-grid-n256-jam"):
+        scenario = get_scenario(name)
+        assert scenario.dynamics is not None
+        assert "dynamics" in scenario.tags
+    smoke_dynamics = [
+        s for s in iter_scenarios(tag="smoke") if s.dynamics is not None
+    ]
+    assert smoke_dynamics, "CI smoke sweep must cover fault injection"
+    # Each churn scenario shares every axis but dynamics with its static
+    # twin, so the pair isolates the degradation caused by churn.
+    for faulty, static in (("broadcast-grid-n64-churn", "broadcast-grid-n64"),
+                           ("broadcast-grid-n256-churn",
+                            "broadcast-grid-n256")):
+        twin = get_scenario(faulty)
+        base = get_scenario(static)
+        assert twin.topology_args == base.topology_args
+        assert twin.seed == base.seed
+        assert twin.algorithm == base.algorithm
+
+
 def test_decoupled_regime_scenarios_are_registered():
     # The n ~ 10^5 sweep the decoupled rng opens, plus the n=16384
     # replay/decoupled twin used to pin the speedup headline.
@@ -235,6 +288,56 @@ def test_run_benchmark_leader_election(tmp_path):
     validate_bench(payload)
     assert "attempts" in payload["results"]
     write_bench(payload, tmp_path)
+
+
+def test_run_benchmark_dynamics_payload(tmp_path):
+    churn = Scenario(
+        name="tiny-churn",
+        description="test-only broadcast under edge churn",
+        family="star",
+        topology_args={"num_leaves": 7},
+        algorithm="broadcast",
+        trials=3,
+        seed=5,
+        dynamics=DynamicsSpec(
+            fault_seed=7, models=(EdgeChurn(p_down=0.1, p_up=0.4),)
+        ),
+    )
+    payload = run_benchmark(churn, reference_trials=1)
+    validate_bench(payload)
+    # The fault environment is persisted twice -- scenario block and
+    # top-level mirror -- and the two must agree.
+    assert payload["dynamics"] == churn.dynamics.describe()
+    assert payload["scenario"]["dynamics"] == payload["dynamics"]
+    # Faults are trial-independent environment randomness, so the
+    # reference runner still agrees round-exact with the engine.
+    assert payload["agreement"]["round_exact"] is True
+    for key in ("delivery_rate", "suppressed_links", "crashed_nodes",
+                "jammed_listens"):
+        assert key in payload["results"]
+        assert len(payload["results"]["per_trial"][key]) == 3
+    assert payload["results"]["suppressed_links"]["mean"] > 0
+    assert payload["results"]["crashed_nodes"]["max"] == 0  # churn only
+    path = write_bench(payload, tmp_path)
+    assert load_bench(path) == json.loads(path.read_text())
+
+    # Corruptions the validator must reject.
+    broken = copy.deepcopy(payload)
+    broken["dynamics"]["fault_seed"] = 9
+    with pytest.raises(ConfigurationError, match="dynamics"):
+        validate_bench(broken)
+    broken = copy.deepcopy(payload)
+    del broken["dynamics"]
+    with pytest.raises(ConfigurationError, match="dynamics"):
+        validate_bench(broken)
+    broken = copy.deepcopy(payload)
+    broken["scenario"]["dynamics"]["models"][0]["kind"] = "meteor-strike"
+    with pytest.raises(ConfigurationError, match="kind"):
+        validate_bench(broken)
+    broken = copy.deepcopy(payload)
+    del broken["results"]["delivery_rate"]
+    with pytest.raises(ConfigurationError, match="delivery_rate"):
+        validate_bench(broken)
 
 
 def test_vectorized_backend_is_faster_at_scale():
@@ -465,6 +568,20 @@ def test_cli_list(capsys):
     assert main(["list", "--tag", "smoke", "--json"]) == 0
     listed = json.loads(capsys.readouterr().out)
     assert listed and all("smoke" in item["tags"] for item in listed)
+
+    # The plain-text listing honours --tag too: only the fault-injection
+    # sweep, each row showing the tag, closed by the count line.
+    assert main(["list", "--tag", "dynamics"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert lines[-1] == "(4 scenarios)"
+    rows = lines[:-1]
+    assert {row.split()[0] for row in rows} == {
+        "broadcast-grid-n64-churn", "broadcast-grid-n256-churn",
+        "broadcast-gnp-n1024-crash", "election-grid-n256-jam",
+    }
+    assert all("dynamics" in row for row in rows)
+    assert "broadcast-grid-n256 " not in out  # static twins filtered out
 
 
 def test_cli_run_and_validate(tmp_path, capsys):

@@ -61,6 +61,7 @@ _FAST_REBUILD_NODES = 2000
 _IDENTITY_FIELDS = (
     "family", "topology_args", "algorithm", "collision_model",
     "spontaneous", "strategy", "engine", "rng", "margin", "seed",
+    "dynamics",
 )
 
 

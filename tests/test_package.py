@@ -47,6 +47,8 @@ def test_core_module_doctests():
         "repro.core.compete",
         "repro.core.broadcast",
         "repro.core.leader_election",
+        "repro.dynamics",
+        "repro.dynamics.spec",
     ):
         module = importlib.import_module(name)
         results = doctest.testmod(module, verbose=False)

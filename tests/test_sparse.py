@@ -83,6 +83,60 @@ def test_adjacency_csr_respects_node_order_permutations():
         graph.adjacency_csr(order=[0, 0, 1, 2, 3, 4])
 
 
+def test_adjacency_csr_cache_invalidated_by_mutation():
+    # The default-order CSR form is memoized; every mutator must drop
+    # the cache so later callers never compute over a stale topology.
+    graph = topology.path_graph(5)
+    first = graph.adjacency_csr()
+    # Memoized while unchanged: the same arrays come back, not copies.
+    assert graph.adjacency_csr()[0] is first[0]
+    assert graph.adjacency_csr()[1] is first[1]
+    graph.add_edge(0, 4)
+    second = graph.adjacency_csr()
+    assert second[1] is not first[1]
+    dense, _ = graph.adjacency_matrix()
+    assert np.array_equal(csr_to_dense(second[0], second[1], 5), dense)
+    # Undoing the mutation rebuilds an equal -- but fresh -- layout.
+    graph.remove_edge(0, 4)
+    third = graph.adjacency_csr()
+    assert third[1] is not second[1]
+    assert np.array_equal(
+        csr_to_dense(third[0], third[1], 5),
+        csr_to_dense(first[0], first[1], 5),
+    )
+    graph.remove_node(4)
+    indptr, indices, nodes = graph.adjacency_csr()
+    assert 4 not in nodes and len(nodes) == 4
+    dense, _ = graph.adjacency_matrix()
+    assert np.array_equal(csr_to_dense(indptr, indices, 4), dense)
+    graph.add_node("isolated")
+    indptr, indices, nodes = graph.adjacency_csr()
+    assert "isolated" in nodes
+    assert indptr[-1] == 2 * graph.num_edges
+
+
+def test_engine_over_mutated_graph_sees_fresh_csr():
+    # Engines snapshot the CSR arrays at construction; a graph mutated
+    # *between* runs must behave exactly like a from-scratch graph of
+    # the final shape -- any divergence means a stale memoized CSR
+    # leaked into the new engine.
+    from repro.api import ExecutionConfig
+    from repro.core.broadcast import broadcast
+
+    mutated = topology.path_graph(9)
+    config = ExecutionConfig(backend="vectorized", engine="sparse")
+    before = broadcast(mutated, source=0, seed=3, config=config)
+    mutated.add_edge(0, 8)
+    after = broadcast(mutated, source=0, seed=3, config=config)
+    fresh = Graph(nodes=mutated.nodes(), edges=mutated.edges())
+    control = broadcast(fresh, source=0, seed=3, config=config)
+    assert after.rounds == control.rounds
+    assert dict(after.reception_rounds) == dict(control.reception_rounds)
+    assert after.metrics.as_dict() == control.metrics.as_dict()
+    # The chord genuinely changed the run (deterministic under replay).
+    assert dict(after.reception_rounds) != dict(before.reception_rounds)
+
+
 # ----------------------------------------------------------------------
 # CSRAdjacency
 # ----------------------------------------------------------------------
